@@ -1,0 +1,42 @@
+// Section 4.2 / Algorithm 2: blocked TRSM, WA (left-looking,
+// k-innermost) vs right-looking, counts vs bounds across block sizes.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bounds/bounds.hpp"
+#include "core/trsm_explicit.hpp"
+#include "linalg/matrix.hpp"
+
+int main() {
+  using namespace wa;
+  using memsim::Hierarchy;
+
+  const double sc = bench::env_scale();
+  const std::size_t n = std::size_t(96 * sc);
+
+  std::printf("Algorithm 2 (TRSM) write ablation, n=%zu\n\n", n);
+  bench::Table t({"block b", "variant", "loads", "stores", "stores/n^2"});
+  for (std::size_t b : {4, 8, 16}) {
+    for (auto variant : {core::TrsmVariant::kLeftLookingWA,
+                         core::TrsmVariant::kRightLooking}) {
+      auto tri = linalg::random_upper_triangular(n, 1);
+      linalg::Matrix<double> rhs(n, n);
+      linalg::fill_random(rhs, 2);
+      Hierarchy h({3 * b * b, Hierarchy::kUnbounded});
+      core::blocked_trsm_explicit(tri.view(), rhs.view(), b, h, variant);
+      t.row({std::to_string(b),
+             variant == core::TrsmVariant::kLeftLookingWA ? "left-looking WA"
+                                                          : "right-looking",
+             bench::fmt_u(h.loads_words(0)), bench::fmt_u(h.stores_words(0)),
+             bench::fmt_d(double(h.stores_words(0)) / double(n * n))});
+    }
+  }
+  t.print();
+  std::printf("\nCA traffic lower bound at b=8: %.0f words\n",
+              bounds::trsm_traffic_lb(n, 3 * 8 * 8));
+  std::printf(
+      "Reading: the WA variant stores exactly n^2 = the output for every"
+      "\nblock size; the right-looking order stores ~(n/2b) times more.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Section 4.3 / Algorithm 3: blocked Cholesky, left-looking (WA) vs
+// right-looking, counts vs bounds across problem sizes.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bounds/bounds.hpp"
+#include "core/cholesky_explicit.hpp"
+#include "linalg/matrix.hpp"
+
+int main() {
+  using namespace wa;
+  using memsim::Hierarchy;
+
+  const double sc = bench::env_scale();
+  const std::size_t b = 8;
+
+  std::printf("Algorithm 3 (Cholesky) write ablation, b=%zu\n\n", b);
+  bench::Table t({"n", "variant", "loads", "stores", "stores/(n^2/2)"});
+  for (std::size_t base : {32, 64, 128}) {
+    const auto n = std::size_t(double(base) * sc);
+    for (auto variant : {core::CholeskyVariant::kLeftLookingWA,
+                         core::CholeskyVariant::kRightLooking}) {
+      auto a = linalg::random_spd(n, unsigned(n));
+      Hierarchy h({3 * b * b, Hierarchy::kUnbounded});
+      core::blocked_cholesky_explicit(a.view(), b, h, variant);
+      t.row({std::to_string(n),
+             variant == core::CholeskyVariant::kLeftLookingWA
+                 ? "left-looking WA"
+                 : "right-looking",
+             bench::fmt_u(h.loads_words(0)), bench::fmt_u(h.stores_words(0)),
+             bench::fmt_d(double(h.stores_words(0)) / (0.5 * double(n) * n))});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nReading: left-looking stores ~n^2/2 (the lower-triangular output,"
+      "\nonce); right-looking grows by an extra factor ~n/(3b) -- the Schur"
+      "\ncomplement rewrite the paper calls out.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 5: multi-level WA instruction order (left column) vs
+// two-level WA order (right column) for four L3 blocking sizes, under
+// the LRU-like cache model.
+//
+// Paper claim (Section 6.2): with the multi-level recursion order
+// (contraction innermost at *every* level) LRU only preserves write-
+// avoidance when ~5 blocks fit in L3 -- for larger blocks VICTIMS.M
+// grows with m.  The slab order (Fig. 4b) keeps the C block's LRU
+// priority high, so write-backs stay near the lower bound even when
+// barely 3 blocks fit, at the price of more exclusive-state traffic.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cachesim/traced.hpp"
+#include "core/matmul_traced.hpp"
+
+namespace {
+
+using namespace wa;
+using cachesim::AddressSpace;
+using cachesim::CacheHierarchy;
+
+struct Counters {
+  std::uint64_t victims_m, victims_e, fills;
+};
+
+Counters run(std::size_t outer, std::size_t middle,
+             const std::vector<std::size_t>& bs, bool multilevel) {
+  CacheHierarchy sim(cachesim::nehalem_scaled(bench::env_scale()), 64);
+  AddressSpace as;
+  core::TracedMat a(sim, as, outer, middle), b(sim, as, middle, outer),
+      c(sim, as, outer, outer);
+  linalg::fill_random(a.raw(), 1);
+  linalg::fill_random(b.raw(), 2);
+  if (multilevel) {
+    core::traced_wa_matmul_multilevel(c, a, b, bs);
+  } else {
+    core::traced_wa_matmul_twolevel(c, a, b, bs);
+  }
+  sim.flush();
+  const auto& s = sim.stats(sim.num_levels() - 1);
+  return Counters{s.total_writebacks(), s.victims_clean, s.fills};
+}
+
+}  // namespace
+
+int main() {
+  const double sc = bench::env_scale();
+  const std::size_t outer = std::size_t(192 * sc);
+  const std::vector<std::size_t> middles = {std::size_t(24 * sc),
+                                            std::size_t(96 * sc),
+                                            std::size_t(384 * sc)};
+  const std::vector<std::size_t> l3_blocks = {
+      std::size_t(50 * sc), std::size_t(57 * sc), std::size_t(64 * sc),
+      std::size_t(73 * sc)};
+  const std::size_t l2b = std::size_t(16 * sc), l1b = std::size_t(8 * sc);
+  const std::uint64_t write_lb = outer * outer * 8 / 64;
+
+  std::printf("Figure 5: instruction-order ablation under LRU, outer dims "
+              "%zux%zu (Write L.B. = %llu lines)\n",
+              outer, outer, (unsigned long long)write_lb);
+
+  for (bool multilevel : {true, false}) {
+    std::printf("\n==== %s column: %s ====\n",
+                multilevel ? "left" : "right",
+                multilevel
+                    ? "multi-level WA order (Fig. 4a, all levels C-resident)"
+                    : "two-level WA order (Fig. 4b, slab below top level)");
+    for (auto b3 : l3_blocks) {
+      std::vector<std::string> head = {"middle m"};
+      for (auto m : middles) head.push_back(std::to_string(m));
+      bench::Table t(head, 10);
+      std::vector<std::string> vm = {"VICTIMS.M"}, ve = {"VICTIMS.E"},
+                               fl = {"FILLS.E"};
+      for (auto m : middles) {
+        const std::vector<std::size_t> bs = {b3, l2b, l1b};
+        const auto c = run(outer, m, bs, multilevel);
+        vm.push_back(bench::fmt_u(c.victims_m));
+        ve.push_back(bench::fmt_u(c.victims_e));
+        fl.push_back(bench::fmt_u(c.fills));
+      }
+      std::printf("\nL3 block %zu (%.1f blocks fit in L3)\n", b3,
+                  double(128 * 1024 * sc) / double(b3 * b3 * 8));
+      t.row(std::move(vm)).row(std::move(ve)).row(std::move(fl));
+      t.row({"Write L.B.", bench::fmt_u(write_lb), bench::fmt_u(write_lb),
+             bench::fmt_u(write_lb)});
+      t.print();
+    }
+  }
+
+  std::printf(
+      "\nReading: in the left column VICTIMS.M inflates as the block size"
+      "\ngrows toward 3-blocks-in-L3; in the right column it stays near the"
+      "\nbound for every block size -- the paper's Section 6.2 trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Google-benchmark microbenchmarks for the simulator substrates
+// themselves: how fast the cache model and the explicit hierarchy
+// process events.  These guard the usability of the trace-driven
+// experiments (Figures 2/5 replay hundreds of millions of accesses).
+
+#include <benchmark/benchmark.h>
+
+#include "cachesim/traced.hpp"
+#include "core/matmul_explicit.hpp"
+#include "core/matmul_traced.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using namespace wa;
+
+void BM_CacheSimAccess(benchmark::State& state) {
+  cachesim::CacheHierarchy sim(cachesim::nehalem_scaled(), 64);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    sim.read(addr, 8);
+    addr = (addr + 8) % (1 << 22);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void BM_CacheSimRandomAccess(benchmark::State& state) {
+  cachesim::CacheHierarchy sim(cachesim::nehalem_scaled(), 64);
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  for (auto _ : state) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    sim.read(x % (1 << 24), 8);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimRandomAccess);
+
+void BM_TracedMatmul(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  for (auto _ : state) {
+    cachesim::CacheHierarchy sim(cachesim::nehalem_scaled(), 64);
+    cachesim::AddressSpace as;
+    core::TracedMat a(sim, as, n, n), b(sim, as, n, n), c(sim, as, n, n);
+    const std::size_t bs[] = {16};
+    core::traced_wa_matmul_multilevel(c, a, b, bs);
+    benchmark::DoNotOptimize(sim.dram_writebacks());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 3);
+}
+BENCHMARK(BM_TracedMatmul)->Arg(48)->Arg(96);
+
+void BM_ExplicitMatmul(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  linalg::Matrix<double> a(n, n), b(n, n), c(n, n, 0.0);
+  for (auto _ : state) {
+    memsim::Hierarchy h({3 * 8 * 8, memsim::Hierarchy::kUnbounded});
+    core::blocked_matmul_explicit(c.view(), a.view(), b.view(), 8, h,
+                                  core::LoopOrder::kIJK);
+    benchmark::DoNotOptimize(h.stores_words(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+BENCHMARK(BM_ExplicitMatmul)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Section 8: slow-memory writes per CG step for classical CG, CA-CG
+// with stored bases, and the streaming (write-avoiding) CA-CG, across
+// s, on a (2b+1)-point stencil (the paper's f(s)=Theta(s) model case).
+
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "krylov/cacg.hpp"
+#include "krylov/cg.hpp"
+#include "sparse/csr.hpp"
+
+int main() {
+  using namespace wa;
+  using namespace wa::krylov;
+
+  const double sc = bench::env_scale();
+  const std::size_t n = std::size_t(16384 * sc);
+  const auto A = sparse::stencil_1d(n, 1);
+
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> xs(n), b(n);
+  for (auto& v : xs) v = dist(rng);
+  sparse::spmv(A, xs, b);
+
+  std::printf("Section 8: Krylov slow-memory writes, 3-point stencil "
+              "n=%zu, tol=1e-9\n\n", n);
+
+  bench::Table t({"method", "s", "CG steps", "writes/step/n",
+                  "reads/step/nnz", "flops/step", "residual"});
+
+  {
+    std::vector<double> x(n, 0.0);
+    const auto r = cg(A, b, x, 4000, 1e-9);
+    t.row({"CG", "-", std::to_string(r.iterations),
+           bench::fmt_d(double(r.traffic.slow_writes) /
+                        double(r.iterations) / double(n)),
+           bench::fmt_d(double(r.traffic.slow_reads) /
+                        double(r.iterations) / double(A.nnz())),
+           bench::fmt_u(r.traffic.flops / std::max<std::size_t>(
+                                              1, r.iterations)),
+           bench::fmt_d(r.residual_norm, 2)});
+  }
+
+  for (std::size_t s : {2, 4, 8}) {
+    for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+      std::vector<double> x(n, 0.0);
+      CaCgOptions opt;
+      opt.s = s;
+      opt.mode = mode;
+      opt.tol = 1e-9;
+      opt.max_outer = 4000;
+      const auto r = ca_cg(A, b, x, opt);
+      t.row({mode == CaCgMode::kStored ? "CA-CG (stored)"
+                                       : "CA-CG (streaming)",
+             std::to_string(s), std::to_string(r.iterations),
+             bench::fmt_d(double(r.traffic.slow_writes) /
+                          double(r.iterations) / double(n)),
+             bench::fmt_d(double(r.traffic.slow_reads) /
+                          double(r.iterations) / double(A.nnz())),
+             bench::fmt_u(r.traffic.flops /
+                          std::max<std::size_t>(1, r.iterations)),
+             bench::fmt_d(r.residual_norm, 2)});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: CG writes ~4n words per step and stored-basis CA-CG"
+      "\n~(2s+4)n/s -- both Theta(n).  The streaming variant drops to"
+      "\n~3n/s per step (the paper's Theta(s) write reduction), paying"
+      "\n<= ~2x in reads and flops for recomputing the basis.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Model 2.1 (Section 7): is it worth replicating extra input copies
+// into NVM?  The paper's answer is the ratio
+//   domBcost(2.5DMML2)/domBcost(2.5DMML3)
+//     = sqrt(c3/c2) * betaNW / (betaNW + 1.5 beta23 + beta32).
+// This bench sweeps the NVM-write/network bandwidth ratio and the
+// replication factors and prints the predicted winner.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dist/cost_model.hpp"
+
+int main() {
+  using namespace wa;
+  using namespace wa::dist;
+
+  const std::size_t n = 1 << 15, P = 1 << 12;
+  std::printf("Model 2.1 planner: when does NVM-assisted replication pay? "
+              "(n=%zu, P=%zu)\n\n", n, P);
+
+  bench::Table t({"b23/bNW", "c2", "c3", "ratio", "2.5DMML2 (s)",
+                  "2.5DMML3 (s)", "winner"});
+  for (double rel : {0.1, 0.5, 1.0, 2.0, 8.0, 32.0}) {
+    for (auto [c2, c3] : {std::pair<std::size_t, std::size_t>{1, 4},
+                          {4, 16}, {1, 16}}) {
+      HwParams hw;
+      hw.beta_23 = rel * hw.beta_nw;
+      hw.beta_32 = 0.25 * rel * hw.beta_nw;
+      const double ratio = model21_speedup_ratio(c2, c3, hw);
+      const double t2 = dom_beta_cost_25dmml2(n, P, c2, hw);
+      const double t3 = dom_beta_cost_25dmml3(n, P, c3, hw);
+      t.row({bench::fmt_d(rel), std::to_string(c2), std::to_string(c3),
+             bench::fmt_d(ratio), bench::fmt_d(t2, 4), bench::fmt_d(t3, 4),
+             ratio > 1.0 ? "use NVM (2.5DMML3)" : "stay in DRAM"});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: NVM replication wins exactly when ratio > 1, i.e. when"
+      "\nsqrt(c3/c2) outweighs the staging overhead (betaNW + 1.5 beta23 +"
+      "\nbeta32)/betaNW -- the paper's Section 7 criterion.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#pragma once
+// Shared helpers for the experiment harnesses: fixed-width table
+// printing (the benches regenerate the paper's tables/figures as
+// ASCII tables) and environment-based scaling.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace wa::bench {
+
+/// WA_SCALE=2 doubles problem/cache sizes toward the paper's scale.
+inline double env_scale() {
+  if (const char* s = std::getenv("WA_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    auto line = [&] {
+      for (std::size_t i = 0; i < headers_.size(); ++i) {
+        std::printf("+%.*s", width_, "--------------------------------");
+      }
+      std::printf("+\n");
+    };
+    line();
+    print_row(headers_);
+    line();
+    for (const auto& r : rows_) print_row(r);
+    line();
+  }
+
+ private:
+  void print_row(const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("|%*s", width_, i < cells.size() ? cells[i].c_str() : "");
+    }
+    std::printf("|\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+inline std::string fmt_u(std::uint64_t v) {
+  if (v >= 10'000'000) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fM", double(v) / 1e6);
+    return buf;
+  }
+  if (v >= 100'000) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fK", double(v) / 1e3);
+    return buf;
+  }
+  return std::to_string(v);
+}
+
+inline std::string fmt_d(double v, int prec = 2) {
+  char buf[32];
+  if (v != 0 && (v >= 1e6 || v < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%.2e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  }
+  return buf;
+}
+
+}  // namespace wa::bench

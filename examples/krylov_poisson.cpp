@@ -1,0 +1,65 @@
+// Solve a Poisson-like problem with CG vs streaming CA-CG and report
+// the slow-memory write savings (Section 8 end to end).
+//
+//   $ ./examples/krylov_poisson [mesh] [s]
+//
+// A (2b+1)-point stencil on a 1-D mesh is the paper's model case where
+// the matrix-powers optimization gives f(s) = Theta(s); the streaming
+// variant then writes Theta(s) times fewer words to slow memory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "krylov/cacg.hpp"
+#include "krylov/cg.hpp"
+#include "sparse/csr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wa;
+  using namespace wa::krylov;
+
+  const std::size_t mesh =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 32768;
+  const std::size_t s = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 6;
+
+  const auto A = sparse::stencil_1d(mesh, 1);
+  std::vector<double> b(mesh, 1.0);
+
+  std::printf("Poisson-like solve: 3-point stencil, n=%zu, tol 1e-9\n\n",
+              mesh);
+
+  std::vector<double> x_cg(mesh, 0.0);
+  const auto r_cg = cg(A, b, x_cg, 10000, 1e-9);
+  std::printf("CG                : %4zu steps, residual %.2e, "
+              "%llu slow writes\n",
+              r_cg.iterations, r_cg.residual_norm,
+              (unsigned long long)r_cg.traffic.slow_writes);
+
+  CaCgOptions opt;
+  opt.s = s;
+  opt.mode = CaCgMode::kStreaming;
+  opt.tol = 1e-9;
+  opt.max_outer = 10000;
+  std::vector<double> x_wa(mesh, 0.0);
+  const auto r_wa = ca_cg(A, b, x_wa, opt);
+  std::printf("streaming CA-CG s=%zu: %4zu steps, residual %.2e, "
+              "%llu slow writes\n",
+              s, r_wa.iterations, r_wa.residual_norm,
+              (unsigned long long)r_wa.traffic.slow_writes);
+
+  const double save = double(r_cg.traffic.slow_writes) /
+                      double(r_wa.traffic.slow_writes) *
+                      double(r_wa.iterations) / double(r_cg.iterations);
+  std::printf("\nwrite reduction (per CG step): %.1fx  (theory: ~4s/3 = "
+              "%.1fx)\n",
+              save, 4.0 * double(s) / 3.0);
+  std::printf("read overhead: %.2fx (theory: <= ~2x)\n",
+              double(r_wa.traffic.slow_reads) / double(r_wa.iterations) /
+                  (double(r_cg.traffic.slow_reads) /
+                   double(r_cg.iterations)));
+  std::printf(
+      "\nOn NVM where writes cost ~10-50x a read, this is the difference"
+      "\nbetween a write-bound and a read-bound solver.\n");
+  return 0;
+}

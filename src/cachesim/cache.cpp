@@ -1,0 +1,309 @@
+#include "cachesim/cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace wa::cachesim {
+
+std::string to_string(Policy p) {
+  switch (p) {
+    case Policy::kLru:
+      return "LRU";
+    case Policy::kClock3:
+      return "CLOCK3";
+    case Policy::kSrrip:
+      return "SRRIP";
+    case Policy::kRandom:
+      return "RANDOM";
+  }
+  return "?";
+}
+
+CacheLevel::CacheLevel(const LevelConfig& cfg, std::size_t line_bytes)
+    : policy_(cfg.policy) {
+  if (cfg.size_bytes == 0 || cfg.size_bytes % line_bytes != 0) {
+    throw std::invalid_argument("cache size must be a multiple of line size");
+  }
+  const std::size_t nlines = cfg.size_bytes / line_bytes;
+  if (cfg.associativity == 0 || cfg.associativity >= nlines) {
+    // Fully associative: one set.
+    sets_ = 1;
+    ways_ = static_cast<unsigned>(nlines);
+  } else {
+    if (nlines % cfg.associativity != 0) {
+      throw std::invalid_argument("lines not divisible by associativity");
+    }
+    sets_ = nlines / cfg.associativity;
+    if (!std::has_single_bit(sets_)) {
+      throw std::invalid_argument("number of sets must be a power of two");
+    }
+    ways_ = cfg.associativity;
+  }
+  set_mask_ = sets_ - 1;
+  ways_storage_.assign(sets_ * ways_, Way{});
+  hands_.assign(sets_, 0);
+}
+
+CacheLevel::Way* CacheLevel::find(std::uint64_t line) {
+  Way* base = &ways_storage_[set_of(line) * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].line == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const CacheLevel::Way* CacheLevel::find(std::uint64_t line) const {
+  const Way* base = &ways_storage_[set_of(line) * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].line == line) return &base[w];
+  }
+  return nullptr;
+}
+
+void CacheLevel::on_hit(Way& w) {
+  switch (policy_) {
+    case Policy::kLru:
+      w.stamp = ++clock_;
+      break;
+    case Policy::kClock3:
+      if (w.meta < 7) ++w.meta;
+      break;
+    case Policy::kSrrip:
+      w.meta = 0;  // near-immediate re-reference
+      break;
+    case Policy::kRandom:
+      break;
+  }
+}
+
+bool CacheLevel::access(std::uint64_t line, bool mark_dirty_flag) {
+  Way* w = find(line);
+  if (w == nullptr) return false;
+  on_hit(*w);
+  if (mark_dirty_flag) w->dirty = true;
+  return true;
+}
+
+bool CacheLevel::contains(std::uint64_t line) const {
+  return find(line) != nullptr;
+}
+
+unsigned CacheLevel::pick_victim(std::size_t set) {
+  Way* base = &ways_storage_[set * ways_];
+  // Invalid way first, for every policy.
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (!base[w].valid) return w;
+  }
+  switch (policy_) {
+    case Policy::kLru: {
+      unsigned best = 0;
+      for (unsigned w = 1; w < ways_; ++w) {
+        if (base[w].stamp < base[best].stamp) best = w;
+      }
+      return best;
+    }
+    case Policy::kClock3: {
+      // Search clockwise for a marker of 0; if a full sweep finds
+      // none, decrement all markers and sweep again [Cor68].
+      for (;;) {
+        for (unsigned step = 0; step < ways_; ++step) {
+          const unsigned w = (hands_[set] + step) % ways_;
+          if (base[w].meta == 0) {
+            hands_[set] = (w + 1) % ways_;
+            return w;
+          }
+        }
+        for (unsigned w = 0; w < ways_; ++w) {
+          if (base[w].meta > 0) --base[w].meta;
+        }
+      }
+    }
+    case Policy::kSrrip: {
+      // Find rrpv == 3 (distant); otherwise age everyone and retry.
+      for (;;) {
+        for (unsigned w = 0; w < ways_; ++w) {
+          if (base[w].meta >= 3) return w;
+        }
+        for (unsigned w = 0; w < ways_; ++w) ++base[w].meta;
+      }
+    }
+    case Policy::kRandom: {
+      rng_ ^= rng_ << 13;
+      rng_ ^= rng_ >> 7;
+      rng_ ^= rng_ << 17;
+      return static_cast<unsigned>(rng_ % ways_);
+    }
+  }
+  return 0;
+}
+
+std::optional<CacheLevel::Victim> CacheLevel::insert(std::uint64_t line,
+                                                     bool dirty) {
+  const std::size_t set = set_of(line);
+  const unsigned w = pick_victim(set);
+  Way& way = ways_storage_[set * ways_ + w];
+  std::optional<Victim> victim;
+  if (way.valid) victim = Victim{way.line, way.dirty};
+  way.valid = true;
+  way.line = line;
+  way.dirty = dirty;
+  switch (policy_) {
+    case Policy::kLru:
+      way.stamp = ++clock_;
+      break;
+    case Policy::kClock3:
+      way.meta = 1;
+      break;
+    case Policy::kSrrip:
+      way.meta = 2;  // "long" re-reference interval on insertion
+      break;
+    case Policy::kRandom:
+      break;
+  }
+  return victim;
+}
+
+std::optional<bool> CacheLevel::invalidate(std::uint64_t line) {
+  Way* w = find(line);
+  if (w == nullptr) return std::nullopt;
+  w->valid = false;
+  return w->dirty;
+}
+
+bool CacheLevel::mark_dirty(std::uint64_t line) {
+  Way* w = find(line);
+  if (w == nullptr) return false;
+  w->dirty = true;
+  return true;
+}
+
+std::vector<std::uint64_t> CacheLevel::dirty_lines() const {
+  std::vector<std::uint64_t> out;
+  for (const Way& w : ways_storage_) {
+    if (w.valid && w.dirty) out.push_back(w.line);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------------
+
+CacheHierarchy::CacheHierarchy(std::vector<LevelConfig> levels,
+                               std::size_t line_bytes)
+    : line_bytes_(line_bytes) {
+  if (levels.empty()) throw std::invalid_argument("need >= 1 cache level");
+  if (!std::has_single_bit(line_bytes)) {
+    throw std::invalid_argument("line size must be a power of two");
+  }
+  line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes));
+  for (const auto& cfg : levels) levels_.emplace_back(cfg, line_bytes);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    if (levels[i].size_bytes < levels[i - 1].size_bytes) {
+      throw std::invalid_argument("levels must grow toward DRAM");
+    }
+  }
+  stats_.assign(levels_.size(), LevelStats{});
+}
+
+void CacheHierarchy::retire_victim(const CacheLevel::Victim& v,
+                                   std::size_t from_level) {
+  // Strict inclusion: kick the line out of every faster level, OR-ing
+  // in their dirty bits (a dirtier copy may live closer to the core).
+  bool dirty = v.dirty;
+  for (std::size_t u = 0; u < from_level; ++u) {
+    if (auto d = levels_[u].invalidate(v.line)) dirty = dirty || *d;
+  }
+  if (dirty) {
+    ++stats_[from_level].victims_dirty;
+    if (from_level + 1 < levels_.size()) {
+      // Write back into the next slower level; inclusion guarantees
+      // the line is present there.
+      levels_[from_level + 1].mark_dirty(v.line);
+    }
+  } else {
+    ++stats_[from_level].victims_clean;
+  }
+}
+
+void CacheHierarchy::fill_through(std::uint64_t line, std::size_t upto,
+                                  bool dirty) {
+  // Insert from the slowest missing level toward L1 so that inclusion
+  // holds while any eviction cascade runs.
+  for (std::size_t i = upto + 1; i-- > 0;) {
+    ++stats_[i].fills;
+    const bool mark = dirty && i == 0;  // dirty bit lives closest to core
+    if (auto victim = levels_[i].insert(line, mark)) {
+      retire_victim(*victim, i);
+    }
+  }
+}
+
+void CacheHierarchy::touch_line(std::uint64_t line, bool is_write) {
+  // Hit at the first (fastest) level containing the line.
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].access(line, is_write && i == 0)) {
+      if (is_write) {
+        ++stats_[i].write_hits;
+      } else {
+        ++stats_[i].read_hits;
+      }
+      if (i > 0) {
+        // Promote into the faster levels (refill path).
+        for (std::size_t u = 0; u < i; ++u) {
+          if (is_write) {
+            ++stats_[u].write_misses;
+          } else {
+            ++stats_[u].read_misses;
+          }
+        }
+        fill_through(line, i - 1, is_write);
+      }
+      return;
+    }
+  }
+  // Miss everywhere: fetch from DRAM.
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (is_write) {
+      ++stats_[i].write_misses;
+    } else {
+      ++stats_[i].read_misses;
+    }
+  }
+  fill_through(line, levels_.size() - 1, is_write);
+}
+
+void CacheHierarchy::read(std::uint64_t addr, std::size_t bytes) {
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    touch_line(line, /*is_write=*/false);
+  }
+}
+
+void CacheHierarchy::write(std::uint64_t addr, std::size_t bytes) {
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    touch_line(line, /*is_write=*/true);
+  }
+}
+
+void CacheHierarchy::flush() {
+  // Gather dirty lines from all levels; a line dirty anywhere must be
+  // written back to DRAM exactly once.
+  std::vector<std::uint64_t> dirty;
+  for (auto& lvl : levels_) {
+    for (std::uint64_t line : lvl.dirty_lines()) dirty.push_back(line);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  stats_.back().flush_writebacks += dirty.size();
+  for (std::uint64_t line : dirty) {
+    for (auto& lvl : levels_) lvl.invalidate(line);
+  }
+}
+
+void CacheHierarchy::reset_stats() {
+  for (auto& s : stats_) s = LevelStats{};
+}
+
+}  // namespace wa::cachesim

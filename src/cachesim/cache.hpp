@@ -1,0 +1,182 @@
+#pragma once
+// wa::cachesim -- trace-driven, multi-level, inclusive cache simulator.
+//
+// This substrate replaces the Intel Xeon 7560 ("Nehalem-EX") hardware
+// counters of Section 6 of the paper.  It models:
+//   * 64-byte cache lines (configurable),
+//   * set-associative or fully-associative levels,
+//   * write-back + write-allocate, strict inclusion with
+//     back-invalidation,
+//   * pluggable replacement policies: exact LRU, the 3-bit CLOCK
+//     approximation the paper attributes to Nehalem [Cor68], SRRIP
+//     [JTSE10] (the Ivy-Bridge-like policy the paper cites), and
+//     random.
+//
+// Per-level counters map onto the events the paper measures at L3:
+//   fills          ~ LLC_S_FILLS.E   (lines brought in from below)
+//   victims_dirty  ~ LLC_VICTIMS.M   (write-backs = the paper's writes)
+//   victims_clean  ~ LLC_VICTIMS.E   (forgotten exclusive lines)
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wa::cachesim {
+
+enum class Policy : std::uint8_t { kLru, kClock3, kSrrip, kRandom };
+
+std::string to_string(Policy p);
+
+/// Configuration of one cache level.
+struct LevelConfig {
+  std::size_t size_bytes = 0;
+  /// Ways per set; 0 means fully associative.
+  unsigned associativity = 8;
+  Policy policy = Policy::kLru;
+};
+
+/// Counters for one cache level (all in units of cache lines).
+struct LevelStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t victims_clean = 0;
+  std::uint64_t victims_dirty = 0;
+  /// Dirty lines pushed out by the final flush (kept separate so that
+  /// benches can report steady-state victims and total write-backs).
+  std::uint64_t flush_writebacks = 0;
+
+  std::uint64_t hits() const { return read_hits + write_hits; }
+  std::uint64_t misses() const { return read_misses + write_misses; }
+  /// Total lines written toward the next slower level.
+  std::uint64_t total_writebacks() const {
+    return victims_dirty + flush_writebacks;
+  }
+};
+
+/// One set-associative cache level.  Used internally by CacheHierarchy.
+class CacheLevel {
+ public:
+  CacheLevel(const LevelConfig& cfg, std::size_t line_bytes);
+
+  struct Victim {
+    std::uint64_t line;
+    bool dirty;
+  };
+
+  /// True (and touches replacement state) if @p line is present.
+  bool access(std::uint64_t line, bool mark_dirty);
+  bool contains(std::uint64_t line) const;
+
+  /// Insert @p line; returns the victim if one was evicted.
+  std::optional<Victim> insert(std::uint64_t line, bool dirty);
+
+  /// Remove @p line if present; returns its dirty bit.
+  std::optional<bool> invalidate(std::uint64_t line);
+
+  /// Mark an already-present line dirty (write-back arriving from the
+  /// next faster level).  Returns false if the line is absent.
+  bool mark_dirty(std::uint64_t line);
+
+  std::size_t sets() const { return sets_; }
+  unsigned ways() const { return ways_; }
+  std::size_t lines() const { return sets_ * ways_; }
+  Policy policy() const { return policy_; }
+
+  /// Enumerate resident dirty lines (used by flush).
+  std::vector<std::uint64_t> dirty_lines() const;
+
+ private:
+  struct Way {
+    std::uint64_t line = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t stamp = 0;  // LRU timestamp
+    std::uint8_t meta = 0;    // CLOCK3 marker / SRRIP rrpv
+  };
+
+  std::size_t set_of(std::uint64_t line) const { return line & set_mask_; }
+  Way* find(std::uint64_t line);
+  const Way* find(std::uint64_t line) const;
+  void on_hit(Way& w);
+  unsigned pick_victim(std::size_t set);
+
+  Policy policy_;
+  std::size_t sets_ = 0;
+  unsigned ways_ = 0;
+  std::uint64_t set_mask_ = 0;
+  std::uint64_t clock_ = 0;   // LRU time
+  std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;
+  std::vector<Way> ways_storage_;   // sets_ * ways_
+  std::vector<unsigned> hands_;     // CLOCK3 hand per set
+};
+
+/// Inclusive multi-level cache hierarchy fed by virtual addresses.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(std::vector<LevelConfig> levels, std::size_t line_bytes = 64);
+
+  std::size_t line_bytes() const { return line_bytes_; }
+  std::size_t num_levels() const { return levels_.size(); }
+  const LevelStats& stats(std::size_t level) const { return stats_.at(level); }
+  LevelStats& stats(std::size_t level) { return stats_.at(level); }
+  const CacheLevel& level(std::size_t i) const { return levels_.at(i); }
+
+  /// Simulate a read of @p bytes at virtual address @p addr.
+  void read(std::uint64_t addr, std::size_t bytes);
+  /// Simulate a write of @p bytes at virtual address @p addr.
+  void write(std::uint64_t addr, std::size_t bytes);
+
+  /// Write back every dirty line everywhere (end-of-run accounting);
+  /// dirty lines at the last level increment flush_writebacks there.
+  void flush();
+
+  /// Reset all statistics (cache contents are kept).
+  void reset_stats();
+
+  /// Lines written back to DRAM from the last level so far (victims
+  /// only; call flush() first to include resident dirty lines).
+  std::uint64_t dram_writebacks() const {
+    return stats_.back().total_writebacks();
+  }
+  /// Lines read from DRAM into the last level.
+  std::uint64_t dram_fills() const { return stats_.back().fills; }
+
+ private:
+  void touch_line(std::uint64_t line, bool is_write);
+  /// Insert @p line into levels [0, upto]; handles eviction cascades.
+  void fill_through(std::uint64_t line, std::size_t upto, bool dirty);
+  /// Handle a victim evicted from @p from_level (inclusion cascade).
+  void retire_victim(const CacheLevel::Victim& v, std::size_t from_level);
+
+  std::vector<CacheLevel> levels_;
+  std::vector<LevelStats> stats_;
+  std::size_t line_bytes_;
+  unsigned line_shift_;
+};
+
+/// Deterministic virtual address allocator for traced data structures.
+/// Using simulator-owned addresses (rather than host pointers) makes
+/// set-index mapping, and therefore every counter, reproducible.
+class AddressSpace {
+ public:
+  explicit AddressSpace(std::uint64_t base = 1ull << 20) : next_(base) {}
+
+  /// Allocate @p bytes aligned to @p align (power of two).
+  std::uint64_t allocate(std::size_t bytes, std::size_t align = 64) {
+    next_ = (next_ + align - 1) & ~std::uint64_t(align - 1);
+    const std::uint64_t addr = next_;
+    next_ += bytes;
+    return addr;
+  }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace wa::cachesim

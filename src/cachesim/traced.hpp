@@ -1,0 +1,113 @@
+#pragma once
+// wa::cachesim -- traced data structures.
+//
+// A TracedMatrix owns real data (so algorithms remain numerically
+// checkable) plus a simulator-assigned virtual base address; every
+// element access is forwarded to the CacheHierarchy.  This is how the
+// "instruction orders" of Section 6 are replayed against the modelled
+// cache.
+
+#include <cassert>
+
+#include "cachesim/cache.hpp"
+#include "linalg/matrix.hpp"
+
+namespace wa::cachesim {
+
+template <class T = double>
+class TracedMatrix {
+ public:
+  TracedMatrix(CacheHierarchy& sim, AddressSpace& as, std::size_t rows,
+               std::size_t cols)
+      : sim_(&sim),
+        data_(rows, cols),
+        base_(as.allocate(rows * cols * sizeof(T))) {}
+
+  std::size_t rows() const { return data_.rows(); }
+  std::size_t cols() const { return data_.cols(); }
+
+  /// Traced element read.
+  T get(std::size_t i, std::size_t j) const {
+    sim_->read(addr(i, j), sizeof(T));
+    return data_(i, j);
+  }
+  /// Traced element write.
+  void set(std::size_t i, std::size_t j, T v) {
+    sim_->write(addr(i, j), sizeof(T));
+    data_(i, j) = v;
+  }
+  /// Traced read-modify-write accumulate (one read + one write).
+  void add(std::size_t i, std::size_t j, T v) {
+    sim_->read(addr(i, j), sizeof(T));
+    sim_->write(addr(i, j), sizeof(T));
+    data_(i, j) += v;
+  }
+
+  /// Untraced access, for initialization and verification only.
+  linalg::Matrix<T>& raw() { return data_; }
+  const linalg::Matrix<T>& raw() const { return data_; }
+
+  std::uint64_t addr(std::size_t i, std::size_t j) const {
+    assert(i < rows() && j < cols());
+    return base_ + (i * cols() + j) * sizeof(T);
+  }
+
+ private:
+  CacheHierarchy* sim_;
+  linalg::Matrix<T> data_;
+  std::uint64_t base_;
+};
+
+/// Traced flat array (for FFT, N-body and Krylov traces).
+template <class T>
+class TracedArray {
+ public:
+  TracedArray(CacheHierarchy& sim, AddressSpace& as, std::size_t n)
+      : sim_(&sim), data_(n), base_(as.allocate(n * sizeof(T))) {}
+
+  std::size_t size() const { return data_.size(); }
+
+  T get(std::size_t i) const {
+    sim_->read(base_ + i * sizeof(T), sizeof(T));
+    return data_[i];
+  }
+  void set(std::size_t i, T v) {
+    sim_->write(base_ + i * sizeof(T), sizeof(T));
+    data_[i] = v;
+  }
+  void add(std::size_t i, T v) {
+    sim_->read(base_ + i * sizeof(T), sizeof(T));
+    sim_->write(base_ + i * sizeof(T), sizeof(T));
+    data_[i] += v;
+  }
+
+  std::vector<T>& raw() { return data_; }
+  const std::vector<T>& raw() const { return data_; }
+
+ private:
+  CacheHierarchy* sim_;
+  std::vector<T> data_;
+  std::uint64_t base_;
+};
+
+/// The scaled stand-in for the paper's Xeon 7560 cache hierarchy
+/// (32 KB L1 / 256 KB L2 / 24 MB L3, 64 B lines), shrunk by ~16x so
+/// that trace-driven benches finish quickly.  `scale` multiplies every
+/// capacity; scale=16 recovers the paper's sizes.
+inline std::vector<LevelConfig> nehalem_scaled(double scale = 1.0,
+                                               Policy policy = Policy::kLru) {
+  auto sz = [scale](std::size_t bytes) {
+    auto v = static_cast<std::size_t>(double(bytes) * scale);
+    // Round to the next power of two of 64-byte lines for set mapping.
+    std::size_t r = 64;
+    while (r < v) r <<= 1;
+    return r;
+  };
+  return {
+      LevelConfig{sz(2 * 1024), 8, policy},
+      LevelConfig{sz(16 * 1024), 8, policy},
+      LevelConfig{sz(96 * 1024), 16, policy},
+  };
+}
+
+}  // namespace wa::cachesim

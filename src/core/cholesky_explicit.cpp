@@ -1,0 +1,226 @@
+#include "core/cholesky_explicit.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/matmul_explicit.hpp"
+
+namespace wa::core {
+
+namespace {
+using linalg::ConstMatrixView;
+using linalg::MatrixView;
+}  // namespace
+
+void blocked_cholesky_explicit(MatrixView<double> A, std::size_t b,
+                               memsim::Hierarchy& h, CholeskyVariant variant,
+                               std::size_t fast) {
+  if (A.rows() != A.cols()) throw std::invalid_argument("cholesky: square");
+  const std::size_t n = A.rows();
+  if (n % b != 0) {
+    throw std::invalid_argument("cholesky: n must be divisible by b");
+  }
+  const std::size_t nb = n / b;
+  const std::size_t bb = b * b;
+  const std::size_t half = (b * (b + 1)) / 2;  // lower half of a block
+
+  auto blk = [&](std::size_t i, std::size_t k) {
+    return A.block(i * b, k * b, b, b);
+  };
+
+  if (variant == CholeskyVariant::kLeftLookingWA) {
+    // Algorithm 3 verbatim.
+    for (std::size_t i = 0; i < nb; ++i) {
+      h.load(fast, half);  // A(i,i) lower half
+      for (std::size_t k = 0; k < i; ++k) {
+        h.load(fast, bb);  // A(i,k)
+        linalg::syrk_lower_acc(blk(i, i), blk(i, k), blk(i, k));
+        h.flops(std::uint64_t(b) * b * b);
+        h.discard(fast, bb);
+      }
+      linalg::cholesky_unblocked(blk(i, i));
+      h.flops(std::uint64_t(b) * b * b / 3);
+      h.store(fast, half);  // factored diagonal block: its only store
+
+      for (std::size_t j = i + 1; j < nb; ++j) {
+        h.load(fast, bb);  // A(j,i)
+        for (std::size_t k = 0; k < i; ++k) {
+          h.load(fast, 2 * bb);  // A(i,k), A(j,k)
+          linalg::gemm_acc_bt(blk(j, i), blk(j, k), blk(i, k), -1.0);
+          h.flops(2ull * b * b * b);
+          h.discard(fast, 2 * bb);
+        }
+        h.load(fast, half);  // A(i,i) lower half (the factor L(i,i))
+        linalg::trsm_right_lower_t(blk(i, i), blk(j, i));
+        h.flops(std::uint64_t(b) * b * b);
+        h.discard(fast, half);
+        h.store(fast, bb);  // solved panel block A(j,i): its only store
+      }
+    }
+    return;
+  }
+
+  // Right-looking: factor the panel, then eagerly update the whole
+  // trailing Schur complement, writing every trailing block back.
+  for (std::size_t i = 0; i < nb; ++i) {
+    h.load(fast, half);
+    linalg::cholesky_unblocked(blk(i, i));
+    h.flops(std::uint64_t(b) * b * b / 3);
+    h.store(fast, half);
+
+    for (std::size_t j = i + 1; j < nb; ++j) {
+      h.load(fast, bb + half);  // A(j,i) and L(i,i)
+      linalg::trsm_right_lower_t(blk(i, i), blk(j, i));
+      h.flops(std::uint64_t(b) * b * b);
+      h.discard(fast, half);
+      h.store(fast, bb);
+    }
+    // Schur complement update: A(j,k) -= L(j,i) * L(k,i)^T, k <= j.
+    for (std::size_t j = i + 1; j < nb; ++j) {
+      for (std::size_t k = i + 1; k <= j; ++k) {
+        const std::size_t out_words = (j == k) ? half : bb;
+        h.load(fast, out_words + 2 * bb);
+        if (j == k) {
+          linalg::syrk_lower_acc(blk(j, j), blk(j, i), blk(j, i));
+          h.flops(std::uint64_t(b) * b * b);
+        } else {
+          linalg::gemm_acc_bt(blk(j, k), blk(j, i), blk(k, i), -1.0);
+          h.flops(2ull * b * b * b);
+        }
+        h.discard(fast, 2 * bb);
+        h.store(fast, out_words);  // partially-updated block written back
+      }
+    }
+  }
+}
+
+namespace {
+
+void trsm_rlt_ml_rec(ConstMatrixView<double> L, MatrixView<double> B,
+                     std::span<const std::size_t> bs, memsim::Hierarchy& h,
+                     std::size_t level) {
+  if (bs.empty()) {
+    linalg::trsm_right_lower_t(L, B);
+    h.flops(std::uint64_t(L.rows()) * L.rows() * B.rows());
+    return;
+  }
+  const std::size_t b = bs.back();
+  const std::size_t n = L.rows(), m = B.rows();
+  if (n % b != 0 || m % b != 0) {
+    throw std::invalid_argument("trsm_rlt_ml: dims must divide block size");
+  }
+  const std::size_t nb = n / b, mi = m / b;
+  const std::size_t bb = b * b;
+  const std::size_t fast = level - 1;
+  const auto inner = bs.first(bs.size() - 1);
+  const std::vector<BlockOrder> wa(inner.size(), BlockOrder::kCResident);
+
+  auto lb = [&](std::size_t r, std::size_t c) {
+    return L.block(r * b, c * b, b, b);
+  };
+  auto bblk = [&](std::size_t r, std::size_t c) {
+    return B.block(r * b, c * b, b, b);
+  };
+
+  for (std::size_t i = 0; i < mi; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      h.load(fast, bb);  // B(i,j) held for the k loop
+      for (std::size_t k = 0; k < j; ++k) {
+        h.load(fast, 2 * bb);  // X(i,k), L(j,k)
+        blocked_matmul_multilevel_at(bblk(i, j), bblk(i, k), lb(j, k),
+                                     inner, wa, h, level - 1, -1.0,
+                                     /*b_transposed=*/true);
+        h.discard(fast, 2 * bb);
+      }
+      h.load(fast, bb);  // L(j,j)
+      trsm_rlt_ml_rec(lb(j, j), bblk(i, j), inner, h, level - 1);
+      h.discard(fast, bb);
+      h.store(fast, bb);  // solved B(i,j)
+    }
+  }
+}
+
+void chol_ml_rec(MatrixView<double> A, std::span<const std::size_t> bs,
+                 memsim::Hierarchy& h, std::size_t level) {
+  if (bs.empty()) {
+    linalg::cholesky_unblocked(A);
+    h.flops(std::uint64_t(A.rows()) * A.rows() * A.rows() / 3);
+    return;
+  }
+  const std::size_t b = bs.back();
+  const std::size_t n = A.rows();
+  if (n % b != 0) {
+    throw std::invalid_argument("chol_ml: n must divide block size");
+  }
+  const std::size_t nb = n / b;
+  const std::size_t bb = b * b;
+  const std::size_t fast = level - 1;
+  const auto inner = bs.first(bs.size() - 1);
+  const std::vector<BlockOrder> wa(inner.size(), BlockOrder::kCResident);
+
+  auto blk = [&](std::size_t i, std::size_t k) {
+    return A.block(i * b, k * b, b, b);
+  };
+
+  for (std::size_t i = 0; i < nb; ++i) {
+    h.load(fast, bb);  // A(i,i), staged whole at inner levels
+    for (std::size_t k = 0; k < i; ++k) {
+      h.load(fast, bb);  // A(i,k)
+      // Symmetric update of the whole diagonal block (keeps both
+      // triangles consistent for the recursive base case).
+      blocked_matmul_multilevel_at(blk(i, i), blk(i, k), blk(i, k), inner,
+                                   wa, h, level - 1, -1.0, true);
+      h.discard(fast, bb);
+    }
+    chol_ml_rec(blk(i, i), inner, h, level - 1);
+    h.store(fast, bb);  // factored diagonal block
+
+    for (std::size_t j = i + 1; j < nb; ++j) {
+      h.load(fast, bb);  // A(j,i)
+      for (std::size_t k = 0; k < i; ++k) {
+        h.load(fast, 2 * bb);  // A(j,k), A(i,k)
+        blocked_matmul_multilevel_at(blk(j, i), blk(j, k), blk(i, k), inner,
+                                     wa, h, level - 1, -1.0, true);
+        h.discard(fast, 2 * bb);
+      }
+      h.load(fast, bb);  // L(i,i)
+      trsm_rlt_ml_rec(blk(i, i), blk(j, i), inner, h, level - 1);
+      h.discard(fast, bb);
+      h.store(fast, bb);  // solved panel block A(j,i)
+    }
+  }
+}
+
+}  // namespace
+
+void blocked_trsm_rlt_multilevel_explicit(
+    ConstMatrixView<double> L, MatrixView<double> B,
+    std::span<const std::size_t> block_sizes, memsim::Hierarchy& h) {
+  if (L.rows() != L.cols() || L.rows() != B.cols()) {
+    throw std::invalid_argument("trsm_rlt_ml: shape mismatch");
+  }
+  trsm_rlt_ml_rec(L, B, block_sizes, h, block_sizes.size());
+}
+
+void blocked_cholesky_multilevel_explicit(
+    MatrixView<double> A, std::span<const std::size_t> block_sizes,
+    memsim::Hierarchy& h) {
+  if (A.rows() != A.cols()) {
+    throw std::invalid_argument("chol_ml: square matrix required");
+  }
+  if (block_sizes.size() + 1 != h.levels()) {
+    throw std::invalid_argument(
+        "chol_ml: hierarchy must have one more level than block sizes");
+  }
+  chol_ml_rec(A, block_sizes, h, block_sizes.size());
+}
+
+std::uint64_t algorithm3_expected_stores(std::size_t n, std::size_t b) {
+  const std::uint64_t nb = n / b;
+  const std::uint64_t bb = std::uint64_t(b) * b;
+  const std::uint64_t half = (std::uint64_t(b) * (b + 1)) / 2;
+  // nb diagonal half-blocks + nb*(nb-1)/2 full panel blocks.
+  return nb * half + (nb * (nb - 1) / 2) * bb;
+}
+
+}  // namespace wa::core

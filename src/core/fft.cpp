@@ -1,0 +1,98 @@
+#include "core/fft.hpp"
+
+#include <bit>
+#include <numbers>
+#include <stdexcept>
+
+namespace wa::core {
+
+namespace {
+
+std::size_t bit_reverse(std::size_t v, unsigned bits) {
+  std::size_t r = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    r = (r << 1) | ((v >> b) & 1);
+  }
+  return r;
+}
+
+}  // namespace
+
+void traced_fft(cachesim::TracedArray<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  if (!std::has_single_bit(n)) {
+    throw std::invalid_argument("fft: n must be a power of two");
+  }
+  const unsigned bits = static_cast<unsigned>(std::countr_zero(n));
+
+  // Bit-reversal permutation (traced swaps).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse(i, bits);
+    if (i < j) {
+      const auto a = x.get(i);
+      const auto b = x.get(j);
+      x.set(i, b);
+      x.set(j, a);
+    }
+  }
+
+  // log2(n) butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / double(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const auto u = x.get(i + j);
+        const auto v = x.get(i + j + len / 2) * w;
+        x.set(i + j, u + v);
+        x.set(i + j + len / 2, u - v);
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fft_reference(std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  if (!std::has_single_bit(n)) {
+    throw std::invalid_argument("fft: n must be a power of two");
+  }
+  const unsigned bits = static_cast<unsigned>(std::countr_zero(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse(i, bits);
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / double(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const auto u = x[i + j];
+        const auto v = x[i + j + len / 2] * w;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> dft_reference(
+    const std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> s(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi * double(k) * double(t) /
+                         double(n);
+      s += x[t] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+}  // namespace wa::core

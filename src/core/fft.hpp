@@ -1,0 +1,30 @@
+#pragma once
+// Cooley-Tukey FFT, traced through the cache simulator.
+//
+// Corollary 2 of the paper: the Cooley-Tukey CDAG has out-degree <= 2,
+// so *no* execution order can avoid writes -- stores to slow memory
+// are Omega(n log n / log M), the same order as total traffic.  The
+// bench runs this implementation under shrinking caches and shows the
+// dirty-writeback fraction staying a constant fraction of traffic, in
+// contrast to the WA matmul.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "cachesim/traced.hpp"
+
+namespace wa::core {
+
+/// In-place iterative radix-2 decimation-in-time FFT over a traced
+/// array (n must be a power of two).
+void traced_fft(cachesim::TracedArray<std::complex<double>>& x);
+
+/// Untraced reference FFT for numerics tests.
+void fft_reference(std::vector<std::complex<double>>& x);
+
+/// Naive O(n^2) DFT used to validate both implementations.
+std::vector<std::complex<double>> dft_reference(
+    const std::vector<std::complex<double>>& x);
+
+}  // namespace wa::core

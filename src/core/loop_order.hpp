@@ -1,0 +1,48 @@
+#pragma once
+// Loop-order vocabulary shared by the blocked algorithms of Section 4
+// and the traced instruction orders of Section 6.
+
+#include <array>
+#include <string>
+
+namespace wa::core {
+
+/// Order of the three block loops of classical matmul.  Letters name
+/// the loops outermost-first: i indexes C's block rows, j indexes C's
+/// block columns, k the contraction dimension.  The paper's Algorithm 1
+/// is kIJK (k innermost => write-avoiding); any order with k innermost
+/// is WA, any other order is merely communication-avoiding.
+enum class LoopOrder { kIJK, kIKJ, kJIK, kJKI, kKIJ, kKJI };
+
+inline constexpr std::array<LoopOrder, 6> kAllLoopOrders = {
+    LoopOrder::kIJK, LoopOrder::kIKJ, LoopOrder::kJIK,
+    LoopOrder::kJKI, LoopOrder::kKIJ, LoopOrder::kKJI};
+
+inline bool contraction_innermost(LoopOrder o) {
+  return o == LoopOrder::kIJK || o == LoopOrder::kJIK;
+}
+
+inline std::string to_string(LoopOrder o) {
+  switch (o) {
+    case LoopOrder::kIJK: return "ijk";
+    case LoopOrder::kIKJ: return "ikj";
+    case LoopOrder::kJIK: return "jik";
+    case LoopOrder::kJKI: return "jki";
+    case LoopOrder::kKIJ: return "kij";
+    case LoopOrder::kKJI: return "kji";
+  }
+  return "?";
+}
+
+/// Recursion-level instruction order for the traced multi-level codes
+/// of Figure 4.  kCResident keeps a C block resident while the
+/// contraction loop runs innermost (WAMatMul, Fig. 4a); kSlab runs the
+/// contraction dimension outermost in slabs parallel to C (ABMatMul,
+/// Fig. 4b).
+enum class BlockOrder { kCResident, kSlab };
+
+inline std::string to_string(BlockOrder o) {
+  return o == BlockOrder::kCResident ? "C-resident(ikj)" : "slab(jik)";
+}
+
+}  // namespace wa::core

@@ -1,0 +1,252 @@
+#include "core/matmul_explicit.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace wa::core {
+
+namespace {
+
+using linalg::ConstMatrixView;
+using linalg::MatrixView;
+
+/// One-slot block cache: tracks which block of one operand currently
+/// resides in fast memory and moves blocks through the hierarchy when
+/// the wanted block changes.  Read-only operands end residencies with
+/// a discard (D2); the output operand ends with a store (D1).
+class BlockSlot {
+ public:
+  BlockSlot(memsim::Hierarchy& h, std::size_t level, bool writeback)
+      : h_(&h), level_(level), writeback_(writeback) {}
+
+  /// Make block (bi, bj) of @p words resident; returns true if it had
+  /// to be (re)loaded.
+  bool want(std::size_t bi, std::size_t bj, std::size_t words) {
+    if (cur_ && cur_->first == bi && cur_->second == bj) return false;
+    release();
+    h_->load(level_, words);
+    cur_ = {bi, bj};
+    words_ = words;
+    return true;
+  }
+
+  /// End the current residency (store if writeback, else discard).
+  void release() {
+    if (!cur_) return;
+    if (writeback_) {
+      h_->store(level_, words_);
+    } else {
+      h_->discard(level_, words_);
+    }
+    cur_.reset();
+  }
+
+  ~BlockSlot() { release(); }
+  BlockSlot(const BlockSlot&) = delete;
+  BlockSlot& operator=(const BlockSlot&) = delete;
+
+ private:
+  memsim::Hierarchy* h_;
+  std::size_t level_;
+  bool writeback_;
+  std::optional<std::pair<std::size_t, std::size_t>> cur_;
+  std::size_t words_ = 0;
+};
+
+struct BlockIndex {
+  std::size_t i, j, k;
+};
+
+/// Drive a triple block loop in the requested order.
+template <class Body>
+void for_each_block(LoopOrder order, std::size_t ni, std::size_t nj,
+                    std::size_t nk, Body body) {
+  auto loop3 = [&](auto f) {
+    switch (order) {
+      case LoopOrder::kIJK:
+        for (std::size_t i = 0; i < ni; ++i)
+          for (std::size_t j = 0; j < nj; ++j)
+            for (std::size_t k = 0; k < nk; ++k) f(BlockIndex{i, j, k});
+        break;
+      case LoopOrder::kIKJ:
+        for (std::size_t i = 0; i < ni; ++i)
+          for (std::size_t k = 0; k < nk; ++k)
+            for (std::size_t j = 0; j < nj; ++j) f(BlockIndex{i, j, k});
+        break;
+      case LoopOrder::kJIK:
+        for (std::size_t j = 0; j < nj; ++j)
+          for (std::size_t i = 0; i < ni; ++i)
+            for (std::size_t k = 0; k < nk; ++k) f(BlockIndex{i, j, k});
+        break;
+      case LoopOrder::kJKI:
+        for (std::size_t j = 0; j < nj; ++j)
+          for (std::size_t k = 0; k < nk; ++k)
+            for (std::size_t i = 0; i < ni; ++i) f(BlockIndex{i, j, k});
+        break;
+      case LoopOrder::kKIJ:
+        for (std::size_t k = 0; k < nk; ++k)
+          for (std::size_t i = 0; i < ni; ++i)
+            for (std::size_t j = 0; j < nj; ++j) f(BlockIndex{i, j, k});
+        break;
+      case LoopOrder::kKJI:
+        for (std::size_t k = 0; k < nk; ++k)
+          for (std::size_t j = 0; j < nj; ++j)
+            for (std::size_t i = 0; i < ni; ++i) f(BlockIndex{i, j, k});
+        break;
+    }
+  };
+  loop3(body);
+}
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+void blocked_matmul_explicit(MatrixView<double> C, ConstMatrixView<double> A,
+                             ConstMatrixView<double> B, std::size_t b,
+                             memsim::Hierarchy& h, LoopOrder order,
+                             std::size_t fast) {
+  const std::size_t m = C.rows(), l = C.cols(), n = A.cols();
+  const std::size_t ni = ceil_div(m, b), nj = ceil_div(l, b),
+                    nk = ceil_div(n, b);
+
+  BlockSlot slot_a(h, fast, /*writeback=*/false);
+  BlockSlot slot_b(h, fast, /*writeback=*/false);
+  BlockSlot slot_c(h, fast, /*writeback=*/true);
+
+  for_each_block(order, ni, nj, nk, [&](BlockIndex ix) {
+    const std::size_t i0 = ix.i * b, j0 = ix.j * b, k0 = ix.k * b;
+    const std::size_t bi = std::min(b, m - i0);
+    const std::size_t bj = std::min(b, l - j0);
+    const std::size_t bk = std::min(b, n - k0);
+
+    slot_c.want(ix.i, ix.j, bi * bj);
+    slot_a.want(ix.i, ix.k, bi * bk);
+    slot_b.want(ix.k, ix.j, bk * bj);
+
+    linalg::gemm_acc(C.block(i0, j0, bi, bj), A.block(i0, k0, bi, bk),
+                     B.block(k0, j0, bk, bj));
+    h.flops(2ull * bi * bj * bk);
+  });
+  // Slots flush on scope exit (final C block is stored, A/B discarded).
+}
+
+namespace {
+
+void multilevel_rec(MatrixView<double> C, ConstMatrixView<double> A,
+                    ConstMatrixView<double> B,
+                    std::span<const std::size_t> block_sizes,
+                    std::span<const BlockOrder> orders, memsim::Hierarchy& h,
+                    std::size_t level, double alpha, bool b_transposed) {
+  if (block_sizes.empty()) {
+    // Everything is resident in the fastest level; pure arithmetic.
+    if (b_transposed) {
+      linalg::gemm_acc_bt(C, A, B, alpha);
+    } else {
+      linalg::gemm_acc(C, A, B, alpha);
+    }
+    h.flops(2ull * C.rows() * C.cols() * A.cols());
+    return;
+  }
+  const std::size_t b = block_sizes.back();
+  const BlockOrder ord = orders.back();
+  const std::size_t m = C.rows(), l = C.cols(), n = A.cols();
+  const std::size_t ni = ceil_div(m, b), nj = ceil_div(l, b),
+                    nk = ceil_div(n, b);
+
+  // The fast side of this recursion level is hierarchy level
+  // `level - 1` (level counts remaining block_sizes entries).
+  const std::size_t fast = level - 1;
+  BlockSlot slot_a(h, fast, false);
+  BlockSlot slot_b(h, fast, false);
+  BlockSlot slot_c(h, fast, true);
+
+  const LoopOrder lo =
+      ord == BlockOrder::kCResident ? LoopOrder::kIJK : LoopOrder::kKIJ;
+  for_each_block(lo, ni, nj, nk, [&](BlockIndex ix) {
+    const std::size_t i0 = ix.i * b, j0 = ix.j * b, k0 = ix.k * b;
+    const std::size_t bi = std::min(b, m - i0);
+    const std::size_t bj = std::min(b, l - j0);
+    const std::size_t bk = std::min(b, n - k0);
+
+    slot_c.want(ix.i, ix.j, bi * bj);
+    slot_a.want(ix.i, ix.k, bi * bk);
+    slot_b.want(ix.k, ix.j, bk * bj);
+
+    // op(B) sub-block: for B^T the roles of its rows/columns swap.
+    const auto b_blk = b_transposed ? B.block(j0, k0, bj, bk)
+                                    : B.block(k0, j0, bk, bj);
+    multilevel_rec(C.block(i0, j0, bi, bj), A.block(i0, k0, bi, bk), b_blk,
+                   block_sizes.first(block_sizes.size() - 1),
+                   orders.first(orders.size() - 1), h, level - 1, alpha,
+                   b_transposed);
+  });
+}
+
+}  // namespace
+
+void blocked_matmul_multilevel_at(MatrixView<double> C,
+                                  ConstMatrixView<double> A,
+                                  ConstMatrixView<double> B,
+                                  std::span<const std::size_t> block_sizes,
+                                  std::span<const BlockOrder> orders,
+                                  memsim::Hierarchy& h, std::size_t level,
+                                  double alpha, bool b_transposed) {
+  multilevel_rec(C, A, B, block_sizes, orders, h, level, alpha,
+                 b_transposed);
+}
+
+void blocked_matmul_multilevel_explicit(
+    MatrixView<double> C, ConstMatrixView<double> A,
+    ConstMatrixView<double> B, std::span<const std::size_t> block_sizes,
+    std::span<const BlockOrder> orders, memsim::Hierarchy& h, double alpha,
+    bool b_transposed) {
+  if (block_sizes.size() != orders.size()) {
+    throw std::invalid_argument("one order per blocking level required");
+  }
+  if (block_sizes.size() + 1 != h.levels()) {
+    throw std::invalid_argument(
+        "hierarchy must have one more level than there are block sizes");
+  }
+  for (std::size_t s = 0; s + 1 < block_sizes.size(); ++s) {
+    if (block_sizes[s] > block_sizes[s + 1]) {
+      throw std::invalid_argument("block sizes must grow with level");
+    }
+  }
+  multilevel_rec(C, A, B, block_sizes, orders, h, block_sizes.size(), alpha,
+                 b_transposed);
+}
+
+void naive_dot_matmul_explicit(MatrixView<double> C,
+                               ConstMatrixView<double> A,
+                               ConstMatrixView<double> B,
+                               memsim::Hierarchy& h) {
+  // One output element at a time: C(i,j) accumulates in a register;
+  // rows of A and columns of B are streamed from slow memory each
+  // time.  Writes to slow memory = output size, reads = 2*m*n*l.
+  const std::size_t m = C.rows(), l = C.cols(), n = A.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < l; ++j) {
+      h.alloc(0, 1);  // accumulator begins in fast memory (R2)
+      double s = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        h.load(0, 1);
+        h.load(0, 1);
+        s += A(i, k) * B(k, j);
+        h.flops(2);
+        h.discard(0, 2);
+      }
+      C(i, j) += s;
+      h.store(0, 1);  // accumulator ends with a store (D1)
+    }
+  }
+}
+
+Alg1Counts algorithm1_expected_counts(std::size_t m, std::size_t n,
+                                      std::size_t l, std::size_t b) {
+  const std::uint64_t ml = std::uint64_t(m) * l;
+  const std::uint64_t mnl = std::uint64_t(m) * n * l;
+  return Alg1Counts{ml + 2 * mnl / b, ml};
+}
+
+}  // namespace wa::core

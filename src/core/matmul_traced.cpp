@@ -1,0 +1,156 @@
+#include "core/matmul_traced.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wa::core {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+struct Extent {
+  std::size_t i0, k0, j0;  // offsets into C rows, C cols, contraction
+  std::size_t m, n, l;     // C is m-by-n here; l = contraction length
+};
+
+/// Register-style micro-kernel: the A element is held in a register
+/// while a row of C accumulates (the in-L1 order is irrelevant to the
+/// L2/L3 counters the experiments read, exactly as the paper argues
+/// for its MKL base case).
+void micro_kernel(TracedMat& C, const TracedMat& A, const TracedMat& B,
+                  const Extent& e) {
+  for (std::size_t i = 0; i < e.m; ++i) {
+    for (std::size_t t = 0; t < e.l; ++t) {
+      const double a = A.get(e.i0 + i, e.k0 + t);
+      for (std::size_t j = 0; j < e.n; ++j) {
+        C.add(e.i0 + i, e.j0 + j, a * B.get(e.k0 + t, e.j0 + j));
+      }
+    }
+  }
+}
+
+void blocked_rec(TracedMat& C, const TracedMat& A, const TracedMat& B,
+                 const Extent& e, std::span<const std::size_t> bs,
+                 std::span<const BlockOrder> orders) {
+  if (bs.empty()) {
+    micro_kernel(C, A, B, e);
+    return;
+  }
+  const std::size_t b = bs.front();
+  const BlockOrder ord = orders.front();
+  const std::size_t ni = ceil_div(e.m, b);
+  const std::size_t nk = ceil_div(e.n, b);
+  const std::size_t njc = ceil_div(e.l, b);
+
+  auto sub = [&](std::size_t bi, std::size_t bk, std::size_t bj) {
+    Extent s;
+    s.i0 = e.i0 + bi * b;
+    s.k0 = e.k0 + bj * b;
+    s.j0 = e.j0 + bk * b;
+    s.m = std::min(b, e.m - bi * b);
+    s.n = std::min(b, e.n - bk * b);
+    s.l = std::min(b, e.l - bj * b);
+    blocked_rec(C, A, B, s, bs.subspan(1), orders.subspan(1));
+  };
+
+  if (ord == BlockOrder::kCResident) {
+    // Fig. 4a order: i (C rows), k (C cols), j (contraction) innermost.
+    for (std::size_t bi = 0; bi < ni; ++bi)
+      for (std::size_t bk = 0; bk < nk; ++bk)
+        for (std::size_t bj = 0; bj < njc; ++bj) sub(bi, bk, bj);
+  } else {
+    // Fig. 4b ABMatMul order: j (contraction) outermost.
+    for (std::size_t bj = 0; bj < njc; ++bj)
+      for (std::size_t bi = 0; bi < ni; ++bi)
+        for (std::size_t bk = 0; bk < nk; ++bk) sub(bi, bk, bj);
+  }
+}
+
+}  // namespace
+
+void traced_blocked_matmul(TracedMat& C, const TracedMat& A,
+                           const TracedMat& B,
+                           std::span<const std::size_t> block_sizes,
+                           std::span<const BlockOrder> orders) {
+  if (block_sizes.size() != orders.size()) {
+    throw std::invalid_argument("need one order per blocking level");
+  }
+  if (A.rows() != C.rows() || B.cols() != C.cols() || A.cols() != B.rows()) {
+    throw std::invalid_argument("matmul: shape mismatch");
+  }
+  Extent e{0, 0, 0, C.rows(), C.cols(), A.cols()};
+  blocked_rec(C, A, B, e, block_sizes, orders);
+}
+
+void traced_wa_matmul_multilevel(TracedMat& C, const TracedMat& A,
+                                 const TracedMat& B,
+                                 std::span<const std::size_t> block_sizes) {
+  std::vector<BlockOrder> orders(block_sizes.size(),
+                                 BlockOrder::kCResident);
+  traced_blocked_matmul(C, A, B, block_sizes, orders);
+}
+
+void traced_wa_matmul_twolevel(TracedMat& C, const TracedMat& A,
+                               const TracedMat& B,
+                               std::span<const std::size_t> block_sizes) {
+  std::vector<BlockOrder> orders(block_sizes.size(), BlockOrder::kSlab);
+  if (!orders.empty()) orders.front() = BlockOrder::kCResident;
+  traced_blocked_matmul(C, A, B, block_sizes, orders);
+}
+
+namespace {
+
+void co_rec(TracedMat& C, const TracedMat& A, const TracedMat& B,
+            const Extent& e, std::size_t base_dim) {
+  if (e.m <= base_dim && e.n <= base_dim && e.l <= base_dim) {
+    micro_kernel(C, A, B, e);
+    return;
+  }
+  // Split the largest of the three dimensions in half [FLPR99].
+  Extent lo = e, hi = e;
+  if (e.m >= e.n && e.m >= e.l) {
+    lo.m = e.m / 2;
+    hi.m = e.m - lo.m;
+    hi.i0 = e.i0 + lo.m;
+  } else if (e.n >= e.l) {
+    lo.n = e.n / 2;
+    hi.n = e.n - lo.n;
+    hi.j0 = e.j0 + lo.n;
+  } else {
+    lo.l = e.l / 2;
+    hi.l = e.l - lo.l;
+    hi.k0 = e.k0 + lo.l;
+  }
+  co_rec(C, A, B, lo, base_dim);
+  co_rec(C, A, B, hi, base_dim);
+}
+
+}  // namespace
+
+void traced_co_matmul(TracedMat& C, const TracedMat& A, const TracedMat& B,
+                      std::size_t base_dim) {
+  Extent e{0, 0, 0, C.rows(), C.cols(), A.cols()};
+  co_rec(C, A, B, e, base_dim);
+}
+
+void traced_mkl_like_matmul(TracedMat& C, const TracedMat& A,
+                            const TracedMat& B, std::size_t panel_k,
+                            std::size_t tile_mn) {
+  // Packed-panel schedule: for each contraction panel, sweep every
+  // C tile.  C tiles are revisited (read + written) once per panel.
+  const std::size_t m = C.rows(), n = C.cols(), l = A.cols();
+  for (std::size_t k0 = 0; k0 < l; k0 += panel_k) {
+    const std::size_t kb = std::min(panel_k, l - k0);
+    for (std::size_t i0 = 0; i0 < m; i0 += tile_mn) {
+      const std::size_t ib = std::min(tile_mn, m - i0);
+      for (std::size_t j0 = 0; j0 < n; j0 += tile_mn) {
+        const std::size_t jb = std::min(tile_mn, n - j0);
+        Extent e{i0, k0, j0, ib, jb, kb};
+        micro_kernel(C, A, B, e);
+      }
+    }
+  }
+}
+
+}  // namespace wa::core

@@ -1,0 +1,62 @@
+#include "core/sort_traced.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wa::core {
+
+namespace {
+
+using TArr = cachesim::TracedArray<double>;
+
+void merge_pass(const TArr& src, TArr& dst, std::size_t n,
+                std::size_t run) {
+  for (std::size_t lo = 0; lo < n; lo += 2 * run) {
+    const std::size_t mid = std::min(n, lo + run);
+    const std::size_t hi = std::min(n, lo + 2 * run);
+    std::size_t a = lo, b = mid, o = lo;
+    // Streaming two-way merge; every element is read once and written
+    // once per pass (the Theta(n) per-pass traffic of mergesort).
+    double va = a < mid ? src.get(a) : 0.0;
+    double vb = b < hi ? src.get(b) : 0.0;
+    while (a < mid && b < hi) {
+      if (va <= vb) {
+        dst.set(o++, va);
+        ++a;
+        if (a < mid) va = src.get(a);
+      } else {
+        dst.set(o++, vb);
+        ++b;
+        if (b < hi) vb = src.get(b);
+      }
+    }
+    while (a < mid) {
+      dst.set(o++, src.get(a));
+      ++a;
+    }
+    while (b < hi) {
+      dst.set(o++, src.get(b));
+      ++b;
+    }
+  }
+}
+
+}  // namespace
+
+void traced_mergesort(TArr& data, TArr& scratch) {
+  const std::size_t n = data.size();
+  if (scratch.size() != n) {
+    throw std::invalid_argument("mergesort: scratch size mismatch");
+  }
+  TArr* src = &data;
+  TArr* dst = &scratch;
+  for (std::size_t run = 1; run < n; run *= 2) {
+    merge_pass(*src, *dst, n, run);
+    std::swap(src, dst);
+  }
+  if (src != &data) {
+    for (std::size_t i = 0; i < n; ++i) data.set(i, src->get(i));
+  }
+}
+
+}  // namespace wa::core

@@ -1,0 +1,21 @@
+#pragma once
+// Traced sorting, for the paper's Section 9 conjecture: "no algorithm
+// for ... the sorting problem can simultaneously perform
+// o(n log_M n) writes to slow memory and O(n log_M n) reads".
+//
+// We provide the classic I/O-efficient bottom-up mergesort (which
+// attains the Theta(n log_M n) *total* traffic bound at run-length
+// granularity) so benches can measure that its DRAM write-backs track
+// its reads -- evidence for, not proof of, the conjecture.
+
+#include "cachesim/traced.hpp"
+
+namespace wa::core {
+
+/// Bottom-up mergesort over a traced array, ping-ponging between the
+/// input and a traced scratch buffer of the same length.  Sorted
+/// result ends in @p data.
+void traced_mergesort(cachesim::TracedArray<double>& data,
+                      cachesim::TracedArray<double>& scratch);
+
+}  // namespace wa::core

@@ -1,0 +1,33 @@
+#pragma once
+// Strassen's matrix multiplication, traced through the cache simulator.
+//
+// Section 3 (Corollary 3) proves Strassen cannot be write-avoiding:
+// the DecC subgraph of its CDAG has out-degree <= 4, so the number of
+// writes to slow memory is a constant fraction of the total traffic.
+// This implementation exists to *demonstrate* that: the bench measures
+// dirty write-backs vs. total DRAM traffic as the cache shrinks
+// relative to the problem.
+
+#include <cstddef>
+
+#include "cachesim/traced.hpp"
+#include "linalg/matrix.hpp"
+
+namespace wa::core {
+
+/// C = A * B by Strassen's seven-product recursion (n must be a power
+/// of two); recursion switches to the classical micro-kernel at
+/// @p cutoff.  Temporaries are allocated from @p as so the simulator
+/// sees their traffic too, exactly like a real implementation's heap.
+void traced_strassen(cachesim::TracedMatrix<double>& C,
+                     const cachesim::TracedMatrix<double>& A,
+                     const cachesim::TracedMatrix<double>& B,
+                     cachesim::CacheHierarchy& sim,
+                     cachesim::AddressSpace& as, std::size_t cutoff = 16);
+
+/// Untraced reference Strassen (for numerics tests).
+linalg::Matrix<double> strassen_reference(const linalg::Matrix<double>& A,
+                                          const linalg::Matrix<double>& B,
+                                          std::size_t cutoff = 16);
+
+}  // namespace wa::core

@@ -1,0 +1,27 @@
+#pragma once
+// Traced (cache-simulator-driven) versions of the blocked TRSM,
+// Cholesky and direct N-body algorithms, used to validate
+// Proposition 6.2: under fully-associative LRU with five blocks (plus
+// a line) of fast memory, the two-level WA instruction orders write
+// back exactly n*m / n^2/2 / N words regardless of the in-block
+// instruction order.
+
+#include "cachesim/traced.hpp"
+
+namespace wa::core {
+
+/// Two-level WA TRSM (Algorithm 2 instruction order): solve T X = B,
+/// T upper triangular, X overwrites B; block size @p b.
+void traced_trsm_wa(const cachesim::TracedMatrix<double>& T,
+                    cachesim::TracedMatrix<double>& B, std::size_t b);
+
+/// Two-level WA left-looking Cholesky (Algorithm 3 instruction
+/// order): lower triangle of A overwritten by L; block size @p b.
+void traced_cholesky_wa(cachesim::TracedMatrix<double>& A, std::size_t b);
+
+/// Two-level WA direct (N,2)-body (Algorithm 4 instruction order):
+/// returns forces in @p F (a traced array of the same length as P).
+void traced_nbody2_wa(const cachesim::TracedArray<double>& P,
+                      cachesim::TracedArray<double>& F, std::size_t b);
+
+}  // namespace wa::core

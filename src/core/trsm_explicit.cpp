@@ -1,0 +1,158 @@
+#include "core/trsm_explicit.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/matmul_explicit.hpp"
+
+namespace wa::core {
+
+namespace {
+using linalg::ConstMatrixView;
+using linalg::MatrixView;
+}  // namespace
+
+void blocked_trsm_explicit(ConstMatrixView<double> T, MatrixView<double> B,
+                           std::size_t b, memsim::Hierarchy& h,
+                           TrsmVariant variant, std::size_t fast) {
+  if (T.rows() != T.cols() || T.rows() != B.rows()) {
+    throw std::invalid_argument("trsm: shape mismatch");
+  }
+  const std::size_t n = T.rows(), nrhs = B.cols();
+  if (n % b != 0 || nrhs % b != 0) {
+    throw std::invalid_argument("trsm: dims must be divisible by block size");
+  }
+  const std::size_t nb = n / b, nj = nrhs / b;
+  const std::size_t bb = b * b;
+
+  auto tb = [&](std::size_t i, std::size_t k) {
+    return T.block(i * b, k * b, b, b);
+  };
+  auto bb_blk = [&](std::size_t i, std::size_t j) {
+    return B.block(i * b, j * b, b, b);
+  };
+
+  if (variant == TrsmVariant::kLeftLookingWA) {
+    // Algorithm 2 verbatim: for each rhs block column j, sweep block
+    // rows bottom-up; the B(i,j) block stays in fast memory while the
+    // k loop (innermost) accumulates updates from already-solved rows.
+    for (std::size_t j = 0; j < nj; ++j) {
+      for (std::size_t i = nb; i-- > 0;) {
+        h.load(fast, bb);  // load B(i,j)
+        for (std::size_t k = i + 1; k < nb; ++k) {
+          h.load(fast, bb);  // load T(i,k)
+          h.load(fast, bb);  // load X(k,j)
+          linalg::gemm_acc(bb_blk(i, j), tb(i, k), bb_blk(k, j), -1.0);
+          h.flops(2ull * b * b * b);
+          h.discard(fast, 2 * bb);
+        }
+        h.load(fast, bb);  // load T(i,i)
+        linalg::trsm_left_upper(tb(i, i), bb_blk(i, j));
+        h.flops(std::uint64_t(b) * b * b);
+        h.discard(fast, bb);  // T(i,i)
+        h.store(fast, bb);    // store solved B(i,j): its only store
+      }
+    }
+    return;
+  }
+
+  // Right-looking: solve a block row, then immediately update every
+  // remaining block of B.  Each trailing B block is loaded *and
+  // stored* once per outer step => Theta(n^3/b) writes to slow memory.
+  for (std::size_t i = nb; i-- > 0;) {
+    for (std::size_t j = 0; j < nj; ++j) {
+      h.load(fast, 2 * bb);  // T(i,i), B(i,j)
+      linalg::trsm_left_upper(tb(i, i), bb_blk(i, j));
+      h.flops(std::uint64_t(b) * b * b);
+      h.discard(fast, bb);
+      h.store(fast, bb);  // solved B(i,j)
+      // Eager update of the rows above.
+      for (std::size_t ii = 0; ii < i; ++ii) {
+        h.load(fast, 3 * bb);  // B(ii,j), T(ii,i), X(i,j)
+        linalg::gemm_acc(bb_blk(ii, j), tb(ii, i), bb_blk(i, j), -1.0);
+        h.flops(2ull * b * b * b);
+        h.discard(fast, 2 * bb);
+        h.store(fast, bb);  // partially-updated B(ii,j) written back
+      }
+    }
+  }
+}
+
+namespace {
+
+void trsm_ml_rec(ConstMatrixView<double> T, MatrixView<double> B,
+                 std::span<const std::size_t> bs, memsim::Hierarchy& h,
+                 std::size_t level) {
+  if (bs.empty()) {
+    linalg::trsm_left_upper(T, B);
+    h.flops(std::uint64_t(T.rows()) * T.rows() * B.cols());
+    return;
+  }
+  const std::size_t b = bs.back();
+  const std::size_t n = T.rows(), nrhs = B.cols();
+  if (n % b != 0 || nrhs % b != 0) {
+    throw std::invalid_argument("trsm_ml: dims must divide block size");
+  }
+  const std::size_t nb = n / b, nj = nrhs / b;
+  const std::size_t bb = b * b;
+  const std::size_t fast = level - 1;
+  const auto inner_bs = bs.first(bs.size() - 1);
+  const std::vector<BlockOrder> wa_orders(inner_bs.size(),
+                                          BlockOrder::kCResident);
+
+  auto tb = [&](std::size_t i, std::size_t k) {
+    return T.block(i * b, k * b, b, b);
+  };
+  auto bblk = [&](std::size_t i, std::size_t j) {
+    return B.block(i * b, j * b, b, b);
+  };
+
+  for (std::size_t j = 0; j < nj; ++j) {
+    for (std::size_t i = nb; i-- > 0;) {
+      h.load(fast, bb);  // B(i,j) held for the whole k loop
+      for (std::size_t k = i + 1; k < nb; ++k) {
+        h.load(fast, 2 * bb);  // T(i,k), X(k,j)
+        blocked_matmul_multilevel_at(bblk(i, j), tb(i, k), bblk(k, j),
+                                     inner_bs, wa_orders, h, level - 1,
+                                     -1.0, false);
+        h.discard(fast, 2 * bb);
+      }
+      h.load(fast, bb);  // T(i,i)
+      trsm_ml_rec(tb(i, i), bblk(i, j), inner_bs, h, level - 1);
+      h.discard(fast, bb);
+      h.store(fast, bb);  // solved B(i,j): its only store at this level
+    }
+  }
+}
+
+}  // namespace
+
+void blocked_trsm_multilevel_explicit(ConstMatrixView<double> T,
+                                      MatrixView<double> B,
+                                      std::span<const std::size_t> block_sizes,
+                                      memsim::Hierarchy& h) {
+  if (T.rows() != T.cols() || T.rows() != B.rows()) {
+    throw std::invalid_argument("trsm_ml: shape mismatch");
+  }
+  if (block_sizes.size() + 1 != h.levels()) {
+    throw std::invalid_argument(
+        "trsm_ml: hierarchy must have one more level than block sizes");
+  }
+  trsm_ml_rec(T, B, block_sizes, h, block_sizes.size());
+}
+
+Alg2Counts algorithm2_expected_counts(std::size_t n, std::size_t b) {
+  const std::uint64_t nb = n / b;
+  const std::uint64_t bb = std::uint64_t(b) * b;
+  std::uint64_t loads = 0;
+  for (std::uint64_t j = 0; j < nb; ++j) {
+    for (std::uint64_t i = 0; i < nb; ++i) {
+      loads += bb;                       // B(i,j)
+      loads += 2 * bb * (nb - 1 - i);    // T(i,k) and X(k,j)
+      loads += bb;                       // T(i,i)
+    }
+  }
+  return Alg2Counts{loads, std::uint64_t(n) * n};
+}
+
+}  // namespace wa::core

@@ -1,0 +1,54 @@
+#pragma once
+// Communication-avoiding conjugate gradient (Algorithm 7 of the paper)
+// and its write-avoiding "streaming matrix powers" variant (§8).
+//
+// CA-CG takes s CG steps per outer iteration: it builds the Krylov
+// bases P = [p, Ap, ..., A^s p] and R = [r, ..., A^{s-1} r], forms the
+// Gram matrix G = [P,R]^T [P,R], runs s inner steps on 2s+1-length
+// coordinate vectors, then recovers [p, r, x].
+//
+//   * kStored:    the bases are materialized in slow memory --
+//                 W12 stays Theta(n) per CG step (no write savings,
+//                 matching the paper's observation).
+//   * kStreaming: the bases are produced blockwise TWICE (once fused
+//                 with the Gram-matrix accumulation, once fused with
+//                 the [p,r,x] recovery) and discarded block by block;
+//                 only x, p, r are ever written to slow memory --
+//                 W12 = Theta(n/s) per CG step, at <= 2x reads/flops.
+//
+// The streaming pass needs the matrix-powers dependency structure; we
+// implement it for banded matrices (the paper's model case: stencils
+// on Cartesian meshes), using ghost zones of width s * bandwidth.
+
+#include <cstddef>
+#include <span>
+
+#include "krylov/cg.hpp"
+
+namespace wa::krylov {
+
+enum class CaCgMode { kStored, kStreaming };
+
+/// Polynomial basis for the Krylov recurrence (the paper notes the
+/// rounding behaviour "can be alleviated by the choice of rho").
+enum class CaCgBasis {
+  kMonomial,  ///< scaled monomial: rho_{j+1} = A rho_j / sigma
+  kNewton,    ///< shifted: rho_{j+1} = (A - theta_j I) rho_j / sigma;
+              ///< theta_j are Leja-ordered Chebyshev points on the
+              ///< Gershgorin spectrum estimate
+};
+
+struct CaCgOptions {
+  std::size_t s = 4;            ///< inner steps per outer iteration
+  CaCgMode mode = CaCgMode::kStored;
+  CaCgBasis basis = CaCgBasis::kMonomial;
+  std::size_t block_rows = 0;   ///< streaming row-block size (0 = auto)
+  std::size_t max_outer = 1000;
+  double tol = 1e-10;
+};
+
+/// Solve A x = b by CA-CG.  In exact arithmetic the iterates match CG.
+SolveResult ca_cg(const sparse::Csr& A, std::span<const double> b,
+                  std::span<double> x, const CaCgOptions& opt);
+
+}  // namespace wa::krylov

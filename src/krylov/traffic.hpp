@@ -1,0 +1,28 @@
+#pragma once
+// Traffic accounting for the Krylov methods of Section 8.
+//
+// The paper's unit of analysis is W12: words written to slow memory
+// (L2 in its notation) per iteration.  We count writes/reads of
+// n-length slow-resident vectors (and of the matrix) explicitly at
+// vector-operation granularity; O(s)-sized scalars and Gram matrices
+// live in fast memory and are not charged, exactly as in the paper's
+// accounting.
+
+#include <cstdint>
+
+namespace wa::krylov {
+
+struct Traffic {
+  std::uint64_t slow_writes = 0;  ///< words written to slow memory
+  std::uint64_t slow_reads = 0;   ///< words read from slow memory
+  std::uint64_t flops = 0;
+
+  Traffic& operator+=(const Traffic& o) {
+    slow_writes += o.slow_writes;
+    slow_reads += o.slow_reads;
+    flops += o.flops;
+    return *this;
+  }
+};
+
+}  // namespace wa::krylov

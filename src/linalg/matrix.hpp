@@ -1,0 +1,191 @@
+#pragma once
+// wa::linalg -- dense row-major matrices and strided views.
+//
+// These containers back every dense algorithm in the library.  Views
+// are non-owning (pointer + dims + row stride) so that blocked
+// algorithms can hand sub-blocks around without copying, which is the
+// whole point of the blocking analyses in the paper.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace wa::linalg {
+
+template <class T>
+class MatrixView;
+template <class T>
+class ConstMatrixView;
+
+/// Owning dense row-major matrix.
+template <class T = double>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  MatrixView<T> view();
+  ConstMatrixView<T> view() const;
+  MatrixView<T> block(std::size_t i0, std::size_t j0, std::size_t r,
+                      std::size_t c);
+  ConstMatrixView<T> block(std::size_t i0, std::size_t j0, std::size_t r,
+                           std::size_t c) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Non-owning mutable view of a row-major block.
+template <class T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  T* data() const { return data_; }
+
+  T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * stride_ + j];
+  }
+
+  MatrixView block(std::size_t i0, std::size_t j0, std::size_t r,
+                   std::size_t c) const {
+    assert(i0 + r <= rows_ && j0 + c <= cols_);
+    return MatrixView(data_ + i0 * stride_ + j0, r, c, stride_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0, cols_ = 0, stride_ = 0;
+};
+
+/// Non-owning read-only view of a row-major block.
+template <class T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data, std::size_t rows, std::size_t cols,
+                  std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {}
+  // Implicit widening from a mutable view.
+  ConstMatrixView(MatrixView<T> v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()),
+        stride_(v.stride()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  const T* data() const { return data_; }
+
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * stride_ + j];
+  }
+
+  ConstMatrixView block(std::size_t i0, std::size_t j0, std::size_t r,
+                        std::size_t c) const {
+    assert(i0 + r <= rows_ && j0 + c <= cols_);
+    return ConstMatrixView(data_ + i0 * stride_ + j0, r, c, stride_);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t rows_ = 0, cols_ = 0, stride_ = 0;
+};
+
+template <class T>
+MatrixView<T> Matrix<T>::view() {
+  return MatrixView<T>(data_.data(), rows_, cols_, cols_);
+}
+template <class T>
+ConstMatrixView<T> Matrix<T>::view() const {
+  return ConstMatrixView<T>(data_.data(), rows_, cols_, cols_);
+}
+template <class T>
+MatrixView<T> Matrix<T>::block(std::size_t i0, std::size_t j0, std::size_t r,
+                               std::size_t c) {
+  return view().block(i0, j0, r, c);
+}
+template <class T>
+ConstMatrixView<T> Matrix<T>::block(std::size_t i0, std::size_t j0,
+                                    std::size_t r, std::size_t c) const {
+  return view().block(i0, j0, r, c);
+}
+
+/// Fill @p m with uniform values in [-1, 1] from a seeded generator.
+template <class T>
+void fill_random(Matrix<T>& m, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) = T(dist(rng));
+}
+
+/// Max |a - b| over all entries; throws on shape mismatch.
+template <class T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  double d = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      d = std::max(d, std::abs(double(a(i, j) - b(i, j))));
+  return d;
+}
+
+/// Make a well-conditioned symmetric positive-definite matrix.
+inline Matrix<double> random_spd(std::size_t n, unsigned seed) {
+  Matrix<double> a(n, n);
+  fill_random(a, seed);
+  Matrix<double> spd(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k < n; ++k) s += a(i, k) * a(j, k);
+      spd(i, j) = s / double(n);
+    }
+    spd(i, i) += 2.0;  // diagonal dominance => positive definite
+  }
+  return spd;
+}
+
+/// Make a well-conditioned upper-triangular matrix (unit-dominant diag).
+inline Matrix<double> random_upper_triangular(std::size_t n, unsigned seed) {
+  Matrix<double> t(n, n);
+  fill_random(t, seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) t(i, j) = 0.0;
+    t(i, i) = 4.0 + std::abs(t(i, i));
+  }
+  return t;
+}
+
+}  // namespace wa::linalg

@@ -1,0 +1,49 @@
+#pragma once
+// wa::sparse -- CSR matrices and stencil generators.
+//
+// Substrate for the Krylov experiments of Section 8.  The paper's
+// write-reduction claim (W12 = O(N*n/s)) is stated for matrices where
+// the matrix-powers optimization gives f(s) = Theta(s), e.g. a
+// (2b+1)^d-point stencil on a d-dimensional Cartesian mesh, so the
+// generators here produce exactly those matrices.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace wa::sparse {
+
+/// Compressed sparse row matrix.
+struct Csr {
+  std::size_t n = 0;  ///< square dimension
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+
+  std::size_t nnz() const { return values.size(); }
+
+  /// Maximum |i - j| over stored entries (bandwidth).
+  std::size_t bandwidth() const;
+};
+
+/// y = A * x.
+void spmv(const Csr& a, std::span<const double> x, std::span<double> y);
+
+/// (2b+1)-point 1-D Laplacian-like stencil on a mesh of @p n points.
+/// Diagonally dominant, symmetric positive-definite.
+Csr stencil_1d(std::size_t n, unsigned b = 1);
+
+/// (2b+1)^2-point 2-D stencil on an nx-by-ny mesh (full square
+/// neighbourhood), diagonally dominant SPD.
+Csr stencil_2d(std::size_t nx, std::size_t ny, unsigned b = 1);
+
+/// 7-point 3-D Poisson stencil on an nx*ny*nz mesh.
+Csr poisson_3d(std::size_t nx, std::size_t ny, std::size_t nz);
+
+/// Dense vector helpers used throughout the Krylov module.
+double dot(std::span<const double> x, std::span<const double> y);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+double norm2(std::span<const double> x);
+
+}  // namespace wa::sparse

@@ -1,0 +1,80 @@
+// Unit tests for the lower-bound formula library.
+
+#include <gtest/gtest.h>
+
+#include "bounds/bounds.hpp"
+
+namespace wa::bounds {
+namespace {
+
+TEST(Theorem1, HalfOfTrafficRoundedUp) {
+  EXPECT_EQ(theorem1_min_fast_writes(10, 10), 10u);
+  EXPECT_EQ(theorem1_min_fast_writes(10, 11), 11u);
+  EXPECT_EQ(theorem1_min_fast_writes(0, 0), 0u);
+}
+
+TEST(MatmulLb, ScalesAsCubeOverSqrtM) {
+  const double a = matmul_traffic_lb(100, 100, 100, 64);
+  const double b = matmul_traffic_lb(200, 200, 200, 64);
+  EXPECT_DOUBLE_EQ(b / a, 8.0);
+  const double c = matmul_traffic_lb(100, 100, 100, 256);
+  EXPECT_DOUBLE_EQ(a / c, 2.0);  // sqrt(256/64)
+}
+
+TEST(NbodyLb, ScalesAsNkOverMk1) {
+  EXPECT_DOUBLE_EQ(nbody_traffic_lb(100, 2, 10), 1000.0);
+  EXPECT_DOUBLE_EQ(nbody_traffic_lb(100, 3, 10), 10000.0);
+}
+
+TEST(FftLb, LogarithmicInM) {
+  const double small = fft_traffic_lb(1 << 20, 1 << 4);
+  const double big = fft_traffic_lb(1 << 20, 1 << 8);
+  EXPECT_DOUBLE_EQ(small / big, 2.0);
+}
+
+TEST(StrassenLb, ExponentIsLog27) {
+  const double a = strassen_traffic_lb(128, 64);
+  const double b = strassen_traffic_lb(256, 64);
+  EXPECT_NEAR(b / a, 7.0, 1e-9);
+}
+
+TEST(Theorem2, CeilingDivision) {
+  EXPECT_EQ(theorem2_min_slow_writes(10, 2, 4), 2u);
+  EXPECT_EQ(theorem2_min_slow_writes(10, 10, 4), 0u);
+  EXPECT_EQ(theorem2_min_slow_writes(5, 0, 2), 3u);
+}
+
+TEST(ParallelBounds, OrderingW1W2W3) {
+  const std::size_t n = 1 << 14, P = 64, M1 = 1 << 10;
+  const double w1 = parallel_w1(n, P);
+  const double w2 = parallel_w2(n, P, 1.0);
+  const double w3 = parallel_w3(n, P, M1);
+  EXPECT_LT(w1, w2);
+  EXPECT_LT(w2, w3);
+}
+
+TEST(Theorem4, L3WritesExceedW1WhenW2Attained) {
+  const std::size_t n = 1 << 14, P = 512;
+  EXPECT_GT(theorem4_min_l3_writes(n, P), parallel_w1(n, P));
+  // Gap grows as P^(1/3).
+  const double gap = theorem4_min_l3_writes(n, P) / parallel_w1(n, P);
+  EXPECT_NEAR(gap, std::cbrt(double(P)), 1e-9);
+}
+
+TEST(MaxReplication, CubeRoot) {
+  EXPECT_NEAR(max_replication(64), 4.0, 1e-12);
+  EXPECT_NEAR(max_replication(27), 3.0, 1e-12);
+}
+
+TEST(CoIdealMisses, MatchesPaperFormulaShape) {
+  // Square case: 3 * n^2 * ceil(n/base) * 8 / 64.
+  const std::size_t n = 4000;
+  const std::size_t M = 24 * 1024 * 1024, L = 64;
+  const double base = std::sqrt(double(M) / 24.0);
+  const double expect =
+      3.0 * double(n) * n * std::ceil(double(n) / base) / 8.0;
+  EXPECT_NEAR(co_matmul_ideal_misses(n, n, n, M, L), expect, 1.0);
+}
+
+}  // namespace
+}  // namespace wa::bounds

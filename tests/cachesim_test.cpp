@@ -1,0 +1,178 @@
+// Unit tests for the cache simulator substrate (Section 6 machinery).
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/traced.hpp"
+
+namespace wa::cachesim {
+namespace {
+
+CacheHierarchy tiny_lru() {
+  return CacheHierarchy({LevelConfig{256, 0, Policy::kLru},
+                         LevelConfig{1024, 0, Policy::kLru}},
+                        64);
+}
+
+TEST(CacheLevel, ConfigValidation) {
+  EXPECT_THROW(CacheLevel(LevelConfig{100, 4, Policy::kLru}, 64),
+               std::invalid_argument);
+  EXPECT_THROW(CacheLevel(LevelConfig{64 * 6, 4, Policy::kLru}, 64),
+               std::invalid_argument);  // 6 lines not power-of-two sets
+  EXPECT_NO_THROW(CacheLevel(LevelConfig{64 * 8, 4, Policy::kLru}, 64));
+}
+
+TEST(CacheHierarchy, ReadMissThenHit) {
+  auto sim = tiny_lru();
+  sim.read(0, 8);
+  EXPECT_EQ(sim.stats(0).read_misses, 1u);
+  EXPECT_EQ(sim.stats(1).fills, 1u);
+  sim.read(8, 8);  // same line
+  EXPECT_EQ(sim.stats(0).read_hits, 1u);
+}
+
+TEST(CacheHierarchy, MultiLineAccessTouchesEachLine) {
+  auto sim = tiny_lru();
+  sim.read(0, 256);  // 4 lines
+  EXPECT_EQ(sim.stats(1).fills, 4u);
+}
+
+TEST(CacheHierarchy, WriteMakesLineDirtyAndEvictionWritesBack) {
+  // L1 = 4 lines fully associative; write 5 distinct lines: the first
+  // must be evicted dirty into L2.
+  auto sim = tiny_lru();
+  for (int i = 0; i < 5; ++i) sim.write(std::uint64_t(i) * 64, 8);
+  EXPECT_EQ(sim.stats(0).victims_dirty, 1u);
+  // Nothing has left L2 yet.
+  EXPECT_EQ(sim.stats(1).victims_dirty, 0u);
+}
+
+TEST(CacheHierarchy, CleanEvictionIsNotAWriteback) {
+  auto sim = tiny_lru();
+  for (int i = 0; i < 6; ++i) sim.read(std::uint64_t(i) * 64, 8);
+  EXPECT_EQ(sim.stats(0).victims_clean, 2u);
+  EXPECT_EQ(sim.stats(0).victims_dirty, 0u);
+}
+
+TEST(CacheHierarchy, LruEvictsLeastRecentlyUsed) {
+  auto sim = tiny_lru();  // L1 4 lines
+  for (int i = 0; i < 4; ++i) sim.read(std::uint64_t(i) * 64, 8);
+  sim.read(0, 8);          // refresh line 0
+  sim.read(4 * 64, 8);     // evicts line 1 (LRU), not line 0
+  sim.read(0, 8);          // must still hit
+  EXPECT_EQ(sim.stats(0).read_misses, 5u);
+  EXPECT_EQ(sim.stats(0).read_hits, 2u);
+}
+
+TEST(CacheHierarchy, DirtyLineWritebackReachesDramOnlyFromLastLevel) {
+  // Write 17 lines: L2 (16 lines) overflows by one; the evicted dirty
+  // line is a DRAM write-back.
+  auto sim = tiny_lru();
+  for (int i = 0; i < 17; ++i) sim.write(std::uint64_t(i) * 64, 8);
+  EXPECT_EQ(sim.stats(1).victims_dirty, 1u);
+  EXPECT_EQ(sim.dram_writebacks(), 1u);
+}
+
+TEST(CacheHierarchy, InclusionBackInvalidatesUpperLevels) {
+  auto sim = tiny_lru();
+  sim.write(0, 8);  // dirty in L1
+  // Fill L2 with 16 other lines to force line 0 out of L2.
+  for (int i = 1; i <= 16; ++i) sim.read(std::uint64_t(i) * 64, 8);
+  // Line 0's dirty bit lived in L1; the L3-level (here L2) eviction
+  // must have collected it as a dirty DRAM write-back.
+  EXPECT_GE(sim.stats(1).victims_dirty, 1u);
+  sim.read(0, 8);  // line 0 must be gone everywhere (inclusion)
+  EXPECT_EQ(sim.stats(1).read_misses, 16u + 1u);
+}
+
+TEST(CacheHierarchy, FlushWritesEachDirtyLineOnce) {
+  auto sim = tiny_lru();
+  sim.write(0, 8);
+  sim.write(64, 8);
+  sim.write(0, 8);  // dirty twice, still one line
+  sim.flush();
+  EXPECT_EQ(sim.stats(1).flush_writebacks, 2u);
+  sim.flush();  // idempotent
+  EXPECT_EQ(sim.stats(1).flush_writebacks, 2u);
+}
+
+TEST(CacheHierarchy, SetAssociativeMapping) {
+  // 2-way, 128 B per set * 2 sets: lines 0 and 2 map to set 0.
+  CacheHierarchy sim({LevelConfig{4 * 64, 2, Policy::kLru}}, 64);
+  sim.read(0 * 64, 8);
+  sim.read(2 * 64, 8);
+  sim.read(4 * 64, 8);  // set 0 full: evicts line 0
+  sim.read(0 * 64, 8);  // miss again
+  EXPECT_EQ(sim.stats(0).read_misses, 4u);
+  sim.read(1 * 64, 8);  // set 1 untouched by the above
+  EXPECT_EQ(sim.stats(0).read_misses, 5u);
+  sim.read(1 * 64, 8);
+  EXPECT_EQ(sim.stats(0).read_hits, 1u);
+}
+
+class PolicySweep : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(PolicySweep, SequentialScanBiggerThanCacheAlwaysMisses) {
+  CacheHierarchy sim({LevelConfig{8 * 64, 0, GetParam()}}, 64);
+  for (int i = 0; i < 64; ++i) sim.read(std::uint64_t(i) * 64, 8);
+  EXPECT_EQ(sim.stats(0).read_misses, 64u);
+}
+
+TEST_P(PolicySweep, WorkingSetSmallerThanCacheEventuallyAllHits) {
+  CacheHierarchy sim({LevelConfig{16 * 64, 0, GetParam()}}, 64);
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int i = 0; i < 8; ++i) sim.read(std::uint64_t(i) * 64, 8);
+  }
+  EXPECT_EQ(sim.stats(0).read_misses, 8u);
+  EXPECT_EQ(sim.stats(0).read_hits, 24u);
+}
+
+TEST_P(PolicySweep, DirtyDataIsNeverSilentlyDropped) {
+  CacheHierarchy sim({LevelConfig{4 * 64, 0, GetParam()}}, 64);
+  for (int i = 0; i < 32; ++i) sim.write(std::uint64_t(i) * 64, 8);
+  sim.flush();
+  // Every written line must come back out exactly once.
+  EXPECT_EQ(sim.stats(0).total_writebacks(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
+                         ::testing::Values(Policy::kLru, Policy::kClock3,
+                                           Policy::kSrrip, Policy::kRandom),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(AddressSpace, AlignedMonotonicAllocation) {
+  AddressSpace as;
+  const auto a = as.allocate(100);
+  const auto b = as.allocate(10, 128);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 128, 0u);
+  EXPECT_GT(b, a + 99);
+}
+
+TEST(TracedMatrixTest, AccessesGenerateTraffic) {
+  CacheHierarchy sim({LevelConfig{16 * 64, 0, Policy::kLru}}, 64);
+  AddressSpace as;
+  TracedMatrix<double> m(sim, as, 4, 4);
+  m.set(0, 0, 3.0);
+  EXPECT_EQ(m.get(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.raw()(0, 0), 3.0);
+  m.add(0, 0, 1.0);
+  EXPECT_EQ(m.get(0, 0), 4.0);
+  EXPECT_GE(sim.stats(0).hits() + sim.stats(0).misses(), 5u);
+}
+
+TEST(NehalemScaled, ShapesAreOrdered) {
+  const auto cfg = nehalem_scaled();
+  ASSERT_EQ(cfg.size(), 3u);
+  EXPECT_LT(cfg[0].size_bytes, cfg[1].size_bytes);
+  EXPECT_LT(cfg[1].size_bytes, cfg[2].size_bytes);
+  // Sizes are rounded up to powers of two for set mapping.
+  const auto big = nehalem_scaled(16.0);
+  EXPECT_GE(big[2].size_bytes, 96u * 1024 * 16);
+  EXPECT_LT(big[2].size_bytes, 96u * 1024 * 32);
+}
+
+}  // namespace
+}  // namespace wa::cachesim

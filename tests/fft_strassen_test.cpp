@@ -1,0 +1,155 @@
+// Tests for the Section 3 negative results: Cooley-Tukey FFT and
+// Strassen cannot be write-avoiding (Corollaries 2 and 3), contrasted
+// with the WA matmul where write-backs stay at the output size.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "bounds/bounds.hpp"
+#include "core/fft.hpp"
+#include "core/matmul_traced.hpp"
+#include "core/strassen.hpp"
+#include "linalg/kernels.hpp"
+
+namespace wa::core {
+namespace {
+
+using cachesim::AddressSpace;
+using cachesim::CacheHierarchy;
+using cachesim::LevelConfig;
+using cachesim::Policy;
+
+TEST(Fft, MatchesNaiveDft) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = {std::cos(0.3 * double(i)), std::sin(0.1 * double(i) * double(i))};
+  }
+  auto ref = dft_reference(x);
+  auto y = x;
+  fft_reference(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), ref[i].real(), 1e-9);
+    EXPECT_NEAR(y[i].imag(), ref[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, TracedMatchesUntraced) {
+  const std::size_t n = 128;
+  CacheHierarchy sim({LevelConfig{16 * 64, 0, Policy::kLru}}, 64);
+  AddressSpace as;
+  cachesim::TracedArray<std::complex<double>> x(sim, as, n);
+  std::vector<std::complex<double>> ref(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref[i] = {1.0 / double(i + 1), double(i % 7)};
+    x.raw()[i] = ref[i];
+  }
+  traced_fft(x);
+  fft_reference(ref);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x.raw()[i].real(), ref[i].real(), 1e-9);
+    EXPECT_NEAR(x.raw()[i].imag(), ref[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(12);
+  EXPECT_THROW(fft_reference(x), std::invalid_argument);
+}
+
+// Corollary 2 in action: with a cache much smaller than the problem,
+// FFT write-backs are a constant fraction of total DRAM traffic
+// (reads+writes), unlike WA matmul where they shrink to output size.
+TEST(Corollary2, FftWritebacksAreConstantFractionOfTraffic) {
+  const std::size_t n = 4096;  // 64 KiB of complex data
+  CacheHierarchy sim({LevelConfig{4 * 1024, 0, Policy::kLru}}, 64);
+  AddressSpace as;
+  cachesim::TracedArray<std::complex<double>> x(sim, as, n);
+  for (std::size_t i = 0; i < n; ++i) x.raw()[i] = {double(i % 5), 0.0};
+  traced_fft(x);
+  sim.flush();
+  const double writes = double(sim.dram_writebacks());
+  const double reads = double(sim.dram_fills());
+  EXPECT_GT(writes / reads, 0.2);  // stores ~ reads, not o(reads)
+  // And total traffic respects the Hong-Kung bound (in words; each
+  // line holds 4 complex).
+  const double lb =
+      bounds::fft_traffic_lb(n, 4 * 1024 / 16) / 4.0;  // lines
+  EXPECT_GT(reads + writes, lb * 0.15);
+}
+
+TEST(Strassen, ReferenceMatchesClassical) {
+  const std::size_t n = 64;
+  linalg::Matrix<double> a(n, n), b(n, n);
+  linalg::fill_random(a, 91);
+  linalg::fill_random(b, 92);
+  auto c = strassen_reference(a, b, 8);
+  linalg::Matrix<double> ref(n, n, 0.0);
+  linalg::gemm_acc(ref.view(), a.view(), b.view());
+  EXPECT_LT(max_abs_diff(c, ref), 1e-9);
+}
+
+TEST(Strassen, TracedMatchesClassical) {
+  const std::size_t n = 32;
+  CacheHierarchy sim({LevelConfig{32 * 64, 0, Policy::kLru}}, 64);
+  AddressSpace as;
+  cachesim::TracedMatrix<double> a(sim, as, n, n), b(sim, as, n, n),
+      c(sim, as, n, n);
+  linalg::fill_random(a.raw(), 93);
+  linalg::fill_random(b.raw(), 94);
+  traced_strassen(c, a, b, sim, as, 8);
+  linalg::Matrix<double> ref(n, n, 0.0);
+  linalg::gemm_acc(ref.view(), a.raw().view(), b.raw().view());
+  EXPECT_LT(max_abs_diff(c.raw(), ref), 1e-9);
+}
+
+TEST(Strassen, RejectsBadShapes) {
+  CacheHierarchy sim({LevelConfig{32 * 64, 0, Policy::kLru}}, 64);
+  AddressSpace as;
+  cachesim::TracedMatrix<double> a(sim, as, 12, 12), b(sim, as, 12, 12),
+      c(sim, as, 12, 12);
+  EXPECT_THROW(traced_strassen(c, a, b, sim, as, 4), std::invalid_argument);
+  EXPECT_THROW(strassen_reference(linalg::Matrix<double>(8, 4),
+                                  linalg::Matrix<double>(4, 8)),
+               std::invalid_argument);
+}
+
+// Corollary 3 in action: Strassen's write-backs stay a constant
+// fraction of its reads under a small cache, while the WA classical
+// matmul on the same problem writes back ~output only.
+TEST(Corollary3, StrassenWritebacksAreConstantFractionOfTraffic) {
+  const std::size_t n = 128;
+  const std::size_t fast_bytes = 8 * 1024;
+
+  CacheHierarchy sim_s({LevelConfig{fast_bytes, 0, Policy::kLru}}, 64);
+  AddressSpace as_s;
+  cachesim::TracedMatrix<double> a1(sim_s, as_s, n, n), b1(sim_s, as_s, n, n),
+      c1(sim_s, as_s, n, n);
+  linalg::fill_random(a1.raw(), 95);
+  linalg::fill_random(b1.raw(), 96);
+  traced_strassen(c1, a1, b1, sim_s, as_s, 16);
+  sim_s.flush();
+  const double s_writes = double(sim_s.dram_writebacks());
+  const double s_reads = double(sim_s.dram_fills());
+
+  CacheHierarchy sim_w({LevelConfig{fast_bytes, 0, Policy::kLru}}, 64);
+  AddressSpace as_w;
+  cachesim::TracedMatrix<double> a2(sim_w, as_w, n, n), b2(sim_w, as_w, n, n),
+      c2(sim_w, as_w, n, n);
+  linalg::fill_random(a2.raw(), 95);
+  linalg::fill_random(b2.raw(), 96);
+  const std::size_t b3 = 16;  // five 16x16 blocks fit in 8 KiB
+  const std::size_t bs[] = {b3};
+  traced_wa_matmul_multilevel(c2, a2, b2, bs);
+  sim_w.flush();
+  const double w_writes = double(sim_w.dram_writebacks());
+  const std::uint64_t c_lines = n * n * sizeof(double) / 64;
+
+  EXPECT_GT(s_writes / s_reads, 0.15);       // Strassen: writes ~ reads
+  EXPECT_LE(w_writes, double(c_lines) * 1.5);  // WA: writes ~ output
+  EXPECT_GT(s_writes, 4.0 * w_writes);
+}
+
+}  // namespace
+}  // namespace wa::core

@@ -1,0 +1,178 @@
+// Unit tests for the explicit memory-hierarchy model (Section 2).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bounds/bounds.hpp"
+#include "memsim/hierarchy.hpp"
+
+namespace wa::memsim {
+namespace {
+
+TEST(Hierarchy, ConstructionValidatesLevels) {
+  EXPECT_THROW(Hierarchy({100}), std::invalid_argument);
+  EXPECT_THROW(Hierarchy({100, 50}), std::invalid_argument);
+  EXPECT_THROW(Hierarchy({0, 50}), std::invalid_argument);
+  EXPECT_NO_THROW(Hierarchy({100, Hierarchy::kUnbounded}));
+  EXPECT_NO_THROW(Hierarchy({10, 100, 1000, Hierarchy::kUnbounded}));
+}
+
+TEST(Hierarchy, LoadCountsReadSlowWriteFast) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  h.load(0, 40);
+  EXPECT_EQ(h.writes_to(0), 40u);
+  EXPECT_EQ(h.reads_from(1), 40u);
+  EXPECT_EQ(h.writes_to(1), 0u);
+  EXPECT_EQ(h.occupancy(0), 40u);
+  EXPECT_EQ(h.loads_messages(0), 1u);
+}
+
+TEST(Hierarchy, StoreCountsReadFastWriteSlow) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  h.load(0, 40);
+  h.store(0, 40);
+  EXPECT_EQ(h.reads_from(0), 40u);
+  EXPECT_EQ(h.writes_to(1), 40u);
+  EXPECT_EQ(h.occupancy(0), 0u);
+}
+
+TEST(Hierarchy, CapacityEnforced) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  h.load(0, 90);
+  EXPECT_THROW(h.load(0, 11), CapacityError);
+  EXPECT_NO_THROW(h.load(0, 10));
+  EXPECT_THROW(h.alloc(0, 1), CapacityError);
+}
+
+TEST(Hierarchy, StoreMoreThanResidentIsLogicError) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  h.load(0, 10);
+  EXPECT_THROW(h.store(0, 11), std::logic_error);
+  EXPECT_THROW(h.discard(0, 11), std::logic_error);
+}
+
+TEST(Hierarchy, AllocIsR2AndDiscardIsD2) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  h.alloc(0, 30);
+  EXPECT_EQ(h.writes_to(0), 30u);
+  EXPECT_EQ(h.reads_from(1), 0u);  // no slow-side read for R2
+  h.discard(0, 30);
+  EXPECT_EQ(h.writes_to(1), 0u);  // no slow-side write for D2
+  EXPECT_EQ(h.residencies(0).r2_begun, 30u);
+  EXPECT_EQ(h.residencies(0).d2_ended, 30u);
+}
+
+TEST(Hierarchy, ResidencyClassesTracked) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  h.load(0, 10);     // R1
+  h.store(0, 10);    // D1
+  h.load(0, 20);     // R1
+  h.discard(0, 20);  // D2
+  h.alloc(0, 5);     // R2
+  h.store(0, 5);     // D1
+  EXPECT_EQ(h.residencies(0).r1_begun, 30u);
+  EXPECT_EQ(h.residencies(0).r2_begun, 5u);
+  EXPECT_EQ(h.residencies(0).d1_ended, 15u);
+  EXPECT_EQ(h.residencies(0).d2_ended, 20u);
+}
+
+TEST(Hierarchy, MultiLevelTrafficIsPerBoundary) {
+  Hierarchy h({10, 100, Hierarchy::kUnbounded});
+  h.load(1, 50);  // L3 -> L2
+  h.load(0, 10);  // L2 -> L1
+  h.store(0, 10);
+  h.store(1, 50);
+  EXPECT_EQ(h.traffic(0), 20u);
+  EXPECT_EQ(h.traffic(1), 100u);
+  EXPECT_EQ(h.writes_to(1), 60u);  // 50 loaded in + 10 stored in
+  EXPECT_EQ(h.reads_from(1), 60u);
+}
+
+TEST(Hierarchy, LevelPairChecks) {
+  Hierarchy h({10, Hierarchy::kUnbounded});
+  EXPECT_THROW(h.load(1, 1), std::out_of_range);
+  EXPECT_THROW(h.store(1, 1), std::out_of_range);
+  EXPECT_THROW(h.traffic(1), std::out_of_range);
+}
+
+TEST(Hierarchy, ResetCountersKeepsOccupancy) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  h.load(0, 10);
+  h.flops(5);
+  h.reset_counters();
+  EXPECT_EQ(h.writes_to(0), 0u);
+  EXPECT_EQ(h.flops(), 0u);
+  EXPECT_EQ(h.occupancy(0), 10u);
+}
+
+TEST(BlockLeaseTest, DefaultEndIsDiscard) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  {
+    auto lease = BlockLease::loaded(h, 0, 25);
+  }
+  EXPECT_EQ(h.occupancy(0), 0u);
+  EXPECT_EQ(h.residencies(0).d2_ended, 25u);
+  EXPECT_EQ(h.writes_to(1), 0u);
+}
+
+TEST(BlockLeaseTest, StoreEndsWithWriteback) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  {
+    auto lease = BlockLease::allocated(h, 0, 25);
+    lease.store();
+  }
+  EXPECT_EQ(h.writes_to(1), 25u);
+  EXPECT_EQ(h.residencies(0).d1_ended, 25u);
+}
+
+// Theorem 1: writes to fast memory >= (loads + stores) / 2, with
+// equality when every residency is R1/D1.
+TEST(Theorem1, AllR1D1ResidenciesMeetBoundWithEquality) {
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  for (int i = 0; i < 7; ++i) {
+    h.load(0, 10);
+    h.store(0, 10);
+  }
+  const auto traffic = h.traffic(0);
+  EXPECT_EQ(h.writes_to(0),
+            bounds::theorem1_min_fast_writes(h.loads_words(0),
+                                             h.stores_words(0)));
+  EXPECT_EQ(traffic, 140u);
+}
+
+// Property sweep: arbitrary mixes of residency classes always satisfy
+// Theorem 1.
+class Theorem1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1Property, HoldsForRandomResidencyMix) {
+  const unsigned seed = static_cast<unsigned>(GetParam());
+  std::mt19937 rng(seed);
+  Hierarchy h({1000, Hierarchy::kUnbounded});
+  std::size_t resident_r1 = 0, resident_r2 = 0;
+  for (int step = 0; step < 200; ++step) {
+    const int op = int(rng() % 4);
+    const std::size_t w = 1 + rng() % 20;
+    if (op == 0 && h.occupancy(0) + w <= 1000) {
+      h.load(0, w);
+      resident_r1 += w;
+    } else if (op == 1 && h.occupancy(0) + w <= 1000) {
+      h.alloc(0, w);
+      resident_r2 += w;
+    } else if (op == 2 && resident_r1 >= w) {
+      h.store(0, w);
+      resident_r1 -= w;
+    } else if (op == 3 && resident_r2 >= w) {
+      h.discard(0, w);
+      resident_r2 -= w;
+    }
+  }
+  EXPECT_GE(h.writes_to(0),
+            bounds::theorem1_min_fast_writes(h.loads_words(0),
+                                             h.stores_words(0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Property, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace wa::memsim

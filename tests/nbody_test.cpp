@@ -1,0 +1,169 @@
+// Tests for the direct N-body algorithms of Section 4.4.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bounds/bounds.hpp"
+#include "core/nbody.hpp"
+
+namespace wa::core {
+namespace {
+
+using memsim::Hierarchy;
+
+std::vector<double> random_particles(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  std::vector<double> p(n);
+  for (auto& v : p) v = dist(rng);
+  return p;
+}
+
+TEST(PairForce, AntisymmetricAndFiniteAtCoincidence) {
+  EXPECT_DOUBLE_EQ(pair_force(1.0, 3.0), -pair_force(3.0, 1.0));
+  EXPECT_TRUE(std::isfinite(pair_force(2.0, 2.0)));  // softened
+  EXPECT_DOUBLE_EQ(pair_force(2.0, 2.0), 0.0);
+}
+
+TEST(Nbody2, BlockedMatchesReference) {
+  const std::size_t n = 64, b = 8;
+  auto p = random_particles(n, 41);
+  Hierarchy h({3 * b, Hierarchy::kUnbounded});
+  auto f_blocked = nbody2_blocked_explicit(p, b, h);
+  auto f_ref = nbody2_reference(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(f_blocked[i], f_ref[i], 1e-12);
+  }
+}
+
+TEST(Nbody2, WritesToSlowEqualOutputSize) {
+  const std::size_t n = 64, b = 8;
+  auto p = random_particles(n, 42);
+  Hierarchy h({3 * b, Hierarchy::kUnbounded});
+  nbody2_blocked_explicit(p, b, h);
+  EXPECT_EQ(h.stores_words(0), n);  // F written exactly once
+}
+
+TEST(Nbody2, FastWritesAttainLowerBound) {
+  const std::size_t n = 128, b = 16;
+  const std::size_t M = 3 * b;
+  auto p = random_particles(n, 43);
+  Hierarchy h({M, Hierarchy::kUnbounded});
+  nbody2_blocked_explicit(p, b, h);
+  // Writes to fast = 2N + N^2/b, the attainable bound (Section 4.4).
+  EXPECT_EQ(h.writes_to(0), 2ull * n + std::uint64_t(n) * n / b);
+  const double lb = bounds::nbody_traffic_lb(n, 2, M);
+  EXPECT_GE(double(h.writes_to(0)), lb / 3.0);
+  EXPECT_LE(double(h.writes_to(0)), lb * 4.0);
+}
+
+TEST(Nbody2Symmetric, SameForcesHalfTheFlops) {
+  const std::size_t n = 64, b = 8;
+  auto p = random_particles(n, 44);
+  Hierarchy h_wa({3 * b, Hierarchy::kUnbounded});
+  Hierarchy h_sym({4 * b, Hierarchy::kUnbounded});
+  auto f1 = nbody2_blocked_explicit(p, b, h_wa);
+  auto f2 = nbody2_symmetric_explicit(p, b, h_sym);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(f1[i], f2[i], 1e-12);
+  // Newton's third law halves the interactions...
+  EXPECT_LT(h_sym.flops(), h_wa.flops());
+  EXPECT_NEAR(double(h_sym.flops()), double(h_wa.flops()) / 2.0,
+              double(n) * b);
+}
+
+TEST(Nbody2Symmetric, CannotBeWriteAvoiding) {
+  const std::size_t n = 128, b = 8;
+  auto p = random_particles(n, 45);
+  Hierarchy h({4 * b, Hierarchy::kUnbounded});
+  nbody2_symmetric_explicit(p, b, h);
+  // Theta(N^2/b) writes: every block pair writes two F blocks back.
+  EXPECT_GT(h.stores_words(0), std::uint64_t(n) * n / b / 2);
+}
+
+TEST(NbodyK, K2AgreesWithPairwiseReference) {
+  const std::size_t n = 24, b = 4;
+  auto p = random_particles(n, 46);
+  Hierarchy h({3 * b, Hierarchy::kUnbounded});
+  auto f = nbodyk_blocked_explicit(p, 2, b, h);
+  auto ref = nbody2_reference(p);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(f[i], ref[i], 1e-12);
+}
+
+TEST(NbodyK, K3BlockedMatchesReference) {
+  const std::size_t n = 16, b = 4;
+  auto p = random_particles(n, 47);
+  Hierarchy h({4 * b, Hierarchy::kUnbounded});
+  auto f = nbodyk_blocked_explicit(p, 3, b, h);
+  auto ref = nbodyk_reference(p, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(f[i], ref[i], 1e-9 * std::max(1.0, std::abs(ref[i])));
+  }
+}
+
+TEST(NbodyK, WritesToSlowStayAtN) {
+  const std::size_t n = 16, b = 4;
+  auto p = random_particles(n, 48);
+  for (unsigned k = 2; k <= 3; ++k) {
+    Hierarchy h({(k + 1) * b, Hierarchy::kUnbounded});
+    nbodyk_blocked_explicit(p, k, b, h);
+    EXPECT_EQ(h.stores_words(0), n) << "k=" << k;
+  }
+}
+
+TEST(NbodyK, FastWritesFollowNkOverBk1) {
+  const std::size_t n = 32, b = 4;
+  Hierarchy h({4 * b, Hierarchy::kUnbounded});
+  auto p = random_particles(n, 49);
+  nbodyk_blocked_explicit(p, 3, b, h);
+  // Loads: N/b * b + (N/b)^2 * b + (N/b)^3 * b = N + N^2/b + N^3/b^2.
+  const std::uint64_t expect =
+      n + std::uint64_t(n) * n / b + std::uint64_t(n) * n * n / (b * b);
+  EXPECT_EQ(h.loads_words(0), expect);
+}
+
+TEST(Nbody2Multilevel, MatchesReference) {
+  const std::size_t n = 64;
+  auto p = random_particles(n, 51);
+  const std::size_t bs[] = {4, 16};
+  Hierarchy h({3 * 4, 3 * 16, Hierarchy::kUnbounded});
+  auto f = nbody2_multilevel_explicit(p, bs, h);
+  auto ref = nbody2_reference(p);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(f[i], ref[i], 1e-12);
+}
+
+TEST(Nbody2Multilevel, WriteAvoidingAtEveryLevel) {
+  const std::size_t n = 256;
+  auto p = random_particles(n, 52);
+  const std::size_t bs[] = {8, 32};
+  Hierarchy h({3 * 8, 3 * 32, Hierarchy::kUnbounded});
+  nbody2_multilevel_explicit(p, bs, h);
+  // Slowest boundary: the force array, stored once.
+  EXPECT_EQ(h.stores_words(1), n);
+  // Inner boundary: one F sub-block store per (bi, level-1 pass) =
+  // N^2/b1 / b0 * b0 = N^2/b1 ... = N * (N/b1) per the induction.
+  EXPECT_EQ(h.stores_words(0), n * (n / 32));
+  // Loads at the inner boundary attain Theta(N^2 / b0).
+  EXPECT_GE(h.loads_words(0), std::uint64_t(n) * n / 8);
+  EXPECT_LE(h.loads_words(0), 2ull * n * n / 8 + 2 * n * (n / 32));
+}
+
+TEST(Nbody2Multilevel, ValidatesHierarchyDepth) {
+  auto p = random_particles(16, 53);
+  const std::size_t bs[] = {4};
+  Hierarchy h({12, 48, Hierarchy::kUnbounded});
+  EXPECT_THROW(nbody2_multilevel_explicit(p, bs, h), std::invalid_argument);
+  Hierarchy h2({12, Hierarchy::kUnbounded});
+  EXPECT_THROW(nbody2_multilevel_explicit(p, {}, h2), std::invalid_argument);
+}
+
+TEST(NbodyK, RejectsBadArguments) {
+  auto p = random_particles(12, 50);
+  Hierarchy h({100, Hierarchy::kUnbounded});
+  EXPECT_THROW(nbodyk_blocked_explicit(p, 1, 4, h), std::invalid_argument);
+  EXPECT_THROW(nbodyk_blocked_explicit(p, 2, 5, h), std::invalid_argument);
+  EXPECT_THROW(nbody2_blocked_explicit(p, 5, h), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wa::core

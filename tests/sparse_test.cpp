@@ -1,0 +1,93 @@
+// Unit tests for the CSR/stencil substrate.
+
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+
+namespace wa::sparse {
+namespace {
+
+TEST(Stencil1d, ShapeAndSymmetry) {
+  const auto a = stencil_1d(10, 2);
+  EXPECT_EQ(a.n, 10u);
+  EXPECT_EQ(a.bandwidth(), 2u);
+  // Symmetric: a(i,j) == a(j,i).
+  for (std::size_t i = 0; i < a.n; ++i) {
+    for (std::size_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      const std::size_t j = a.col_idx[p];
+      bool found = false;
+      for (std::size_t q = a.row_ptr[j]; q < a.row_ptr[j + 1]; ++q) {
+        if (a.col_idx[q] == i) {
+          EXPECT_DOUBLE_EQ(a.values[q], a.values[p]);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Stencil1d, DiagonallyDominant) {
+  const auto a = stencil_1d(32, 3);
+  for (std::size_t i = 0; i < a.n; ++i) {
+    double diag = 0, off = 0;
+    for (std::size_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      if (a.col_idx[p] == i) {
+        diag = a.values[p];
+      } else {
+        off += std::abs(a.values[p]);
+      }
+    }
+    EXPECT_GT(diag, off);
+  }
+}
+
+TEST(Stencil2d, InteriorRowHasFullNeighbourhood) {
+  const unsigned b = 1;
+  const auto a = stencil_2d(8, 8, b);
+  EXPECT_EQ(a.n, 64u);
+  // An interior point sees (2b+1)^2 = 9 entries.
+  const std::size_t i = 3 * 8 + 3;
+  EXPECT_EQ(a.row_ptr[i + 1] - a.row_ptr[i], 9u);
+  // A corner sees 4.
+  EXPECT_EQ(a.row_ptr[1] - a.row_ptr[0], 4u);
+  EXPECT_EQ(a.bandwidth(), 8u + 1u);
+}
+
+TEST(Poisson3d, SevenPointStructure) {
+  const auto a = poisson_3d(4, 4, 4);
+  EXPECT_EQ(a.n, 64u);
+  const std::size_t i = (1 * 4 + 1) * 4 + 1;  // interior
+  EXPECT_EQ(a.row_ptr[i + 1] - a.row_ptr[i], 7u);
+}
+
+TEST(Spmv, MatchesDense) {
+  const auto a = stencil_1d(16, 2);
+  std::vector<double> x(16), y(16);
+  for (std::size_t i = 0; i < 16; ++i) x[i] = double(i) * 0.5 - 3.0;
+  spmv(a, x, y);
+  for (std::size_t i = 0; i < 16; ++i) {
+    double s = 0;
+    for (std::size_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+      s += a.values[p] * x[a.col_idx[p]];
+    }
+    EXPECT_DOUBLE_EQ(y[i], s);
+  }
+}
+
+TEST(Spmv, SizeMismatchThrows) {
+  const auto a = stencil_1d(8, 1);
+  std::vector<double> x(7), y(8);
+  EXPECT_THROW(spmv(a, x, y), std::invalid_argument);
+}
+
+TEST(VecOps, DotAxpyNorm) {
+  std::vector<double> x = {1, 2, 3}, y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace wa::sparse

@@ -1,0 +1,163 @@
+// Tests for Algorithms 2 (blocked TRSM) and 3 (blocked Cholesky):
+// numerics against the unblocked kernels, exact write counts for the
+// WA variants, and the non-WA contrast.
+
+#include <gtest/gtest.h>
+
+#include "bounds/bounds.hpp"
+#include "core/cholesky_explicit.hpp"
+#include "core/trsm_explicit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace wa::core {
+namespace {
+
+using linalg::Matrix;
+using memsim::Hierarchy;
+
+class TrsmVariants : public ::testing::TestWithParam<TrsmVariant> {};
+
+TEST_P(TrsmVariants, SolvesTheSystem) {
+  const std::size_t n = 24, b = 4;
+  auto t = linalg::random_upper_triangular(n, 21);
+  Matrix<double> x(n, n);
+  linalg::fill_random(x, 22);
+  Matrix<double> rhs(n, n, 0.0);
+  linalg::gemm_acc(rhs.view(), t.view(), x.view());
+  Hierarchy h({3 * b * b, Hierarchy::kUnbounded});
+  blocked_trsm_explicit(t.view(), rhs.view(), b, h, GetParam());
+  EXPECT_LT(max_abs_diff(rhs, x), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, TrsmVariants,
+    ::testing::Values(TrsmVariant::kLeftLookingWA, TrsmVariant::kRightLooking),
+    [](const auto& info) {
+      return info.param == TrsmVariant::kLeftLookingWA ? "LeftLookingWA"
+                                                       : "RightLooking";
+    });
+
+TEST(Algorithm2, ExactCounts) {
+  const std::size_t n = 24, b = 4;
+  auto t = linalg::random_upper_triangular(n, 23);
+  Matrix<double> rhs(n, n);
+  linalg::fill_random(rhs, 24);
+  Hierarchy h({3 * b * b, Hierarchy::kUnbounded});
+  blocked_trsm_explicit(t.view(), rhs.view(), b, h,
+                        TrsmVariant::kLeftLookingWA);
+  const auto exp = algorithm2_expected_counts(n, b);
+  EXPECT_EQ(h.loads_words(0), exp.loads);
+  EXPECT_EQ(h.stores_words(0), exp.stores);
+  EXPECT_EQ(h.stores_words(0), std::uint64_t(n) * n);  // output only
+}
+
+TEST(Algorithm2, RightLookingWritesScaleWithN3OverB) {
+  const std::size_t n = 24, b = 4;
+  auto t = linalg::random_upper_triangular(n, 25);
+  Matrix<double> rhs_a(n, n), rhs_b(n, n);
+  linalg::fill_random(rhs_a, 26);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) rhs_b(i, j) = rhs_a(i, j);
+  Hierarchy hl({3 * b * b, Hierarchy::kUnbounded});
+  Hierarchy hr({3 * b * b, Hierarchy::kUnbounded});
+  blocked_trsm_explicit(t.view(), rhs_a.view(), b, hl,
+                        TrsmVariant::kLeftLookingWA);
+  blocked_trsm_explicit(t.view(), rhs_b.view(), b, hr,
+                        TrsmVariant::kRightLooking);
+  // Same solution...
+  EXPECT_LT(max_abs_diff(rhs_a, rhs_b), 1e-8);
+  // ...but the right-looking order writes ~n/b/2 times more words.
+  EXPECT_EQ(hl.stores_words(0), n * n);
+  EXPECT_GT(hr.stores_words(0), std::uint64_t(n) * n * (n / b) / 4);
+  // Both move a comparable total number of words (both are CA).
+  EXPECT_LT(double(hr.traffic(0)), 2.5 * double(hl.traffic(0)));
+}
+
+TEST(Algorithm2, ValidatesDivisibility) {
+  Matrix<double> t(10, 10), rhs(10, 10);
+  Hierarchy h({48, Hierarchy::kUnbounded});
+  EXPECT_THROW(blocked_trsm_explicit(t.view(), rhs.view(), 4, h,
+                                     TrsmVariant::kLeftLookingWA),
+               std::invalid_argument);
+}
+
+class CholeskyVariants : public ::testing::TestWithParam<CholeskyVariant> {};
+
+TEST_P(CholeskyVariants, FactorMatchesUnblocked) {
+  const std::size_t n = 24, b = 4;
+  auto a = linalg::random_spd(n, 27);
+  Matrix<double> blocked = a, ref = a;
+  Hierarchy h({3 * b * b, Hierarchy::kUnbounded});
+  blocked_cholesky_explicit(blocked.view(), b, h, GetParam());
+  linalg::cholesky_unblocked(ref.view());
+  double d = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      d = std::max(d, std::abs(blocked(i, j) - ref(i, j)));
+    }
+  }
+  EXPECT_LT(d, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, CholeskyVariants,
+                         ::testing::Values(CholeskyVariant::kLeftLookingWA,
+                                           CholeskyVariant::kRightLooking),
+                         [](const auto& info) {
+                           return info.param == CholeskyVariant::kLeftLookingWA
+                                      ? "LeftLookingWA"
+                                      : "RightLooking";
+                         });
+
+TEST(Algorithm3, LeftLookingWritesOutputExactlyOnce) {
+  const std::size_t n = 32, b = 4;
+  auto a = linalg::random_spd(n, 28);
+  Hierarchy h({3 * b * b, Hierarchy::kUnbounded});
+  blocked_cholesky_explicit(a.view(), b, h, CholeskyVariant::kLeftLookingWA);
+  EXPECT_EQ(h.stores_words(0), algorithm3_expected_stores(n, b));
+  // ~n^2/2 words: the lower triangle, written once.
+  EXPECT_NEAR(double(h.stores_words(0)), 0.5 * n * n, double(n) * b);
+}
+
+TEST(Algorithm3, RightLookingWritesAsymptoticallyMore) {
+  const std::size_t n = 32, b = 4;
+  auto a1 = linalg::random_spd(n, 29);
+  auto a2 = a1;
+  Hierarchy hl({3 * b * b, Hierarchy::kUnbounded});
+  Hierarchy hr({3 * b * b, Hierarchy::kUnbounded});
+  blocked_cholesky_explicit(a1.view(), b, hl,
+                            CholeskyVariant::kLeftLookingWA);
+  blocked_cholesky_explicit(a2.view(), b, hr, CholeskyVariant::kRightLooking);
+  // Right-looking rewrites the Schur complement ~n/(3b) times.
+  EXPECT_GT(hr.stores_words(0), 2 * hl.stores_words(0));
+  // Loads are comparable: both variants are communication-avoiding.
+  EXPECT_LT(double(hr.traffic(0)), 2.0 * double(hl.traffic(0)));
+}
+
+TEST(Algorithm3, LoadsScaleAsN3OverB) {
+  const std::size_t b = 4;
+  auto a16 = linalg::random_spd(16, 30);
+  auto a32 = linalg::random_spd(32, 31);
+  Hierarchy h16({3 * b * b, Hierarchy::kUnbounded});
+  Hierarchy h32({3 * b * b, Hierarchy::kUnbounded});
+  blocked_cholesky_explicit(a16.view(), b, h16,
+                            CholeskyVariant::kLeftLookingWA);
+  blocked_cholesky_explicit(a32.view(), b, h32,
+                            CholeskyVariant::kLeftLookingWA);
+  // Doubling n should multiply the dominant n^3/(3b) load term by ~8.
+  const double ratio = double(h32.loads_words(0)) / double(h16.loads_words(0));
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 9.0);
+}
+
+TEST(Algorithm3, CapacityRespected) {
+  const std::size_t n = 16, b = 4;
+  auto a = linalg::random_spd(n, 32);
+  // 3 blocks is exactly enough; 2.4 blocks must fail.
+  Hierarchy tight({(12 * b * b) / 5, Hierarchy::kUnbounded});
+  EXPECT_THROW(blocked_cholesky_explicit(a.view(), b, tight,
+                                         CholeskyVariant::kLeftLookingWA),
+               memsim::CapacityError);
+}
+
+}  // namespace
+}  // namespace wa::core
