@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Smoke-run every bench and example at tiny problem sizes so a broken
+# harness is caught even when nobody is reading the tables.
+#
+# Usage: bench/run_all.sh [build-dir]    (default: ./build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: '$BUILD_DIR' does not look like a configured build tree" >&2
+  echo "hint: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+# WA_SCALE shrinks the paper-sized problems; 0.5 keeps every geometry
+# constraint (square grids, divisibility) intact.
+export WA_SCALE="${WA_SCALE:-0.5}"
+
+status=0
+for exe in "$BUILD_DIR"/bench/bench_* "$BUILD_DIR"/examples/example_*; do
+  [ -x "$exe" ] || continue
+  name=$(basename "$exe")
+  case "$name" in
+    *.* ) continue ;;  # skip non-binaries (e.g. .cmake droppings)
+    bench_kernels_perf )
+      # Google Benchmark harness: one tiny repetition only.  (Plain
+      # double: the "0.01s" spelling needs benchmark >= 1.8.)
+      args="--benchmark_min_time=0.01" ;;
+    * )
+      args="" ;;
+  esac
+  printf '== %s ==\n' "$name"
+  log=$(mktemp)
+  # shellcheck disable=SC2086
+  if ! "$exe" $args >"$log" 2>&1; then
+    printf '!! %s FAILED; output:\n' "$name"
+    cat "$log"
+    status=1
+  fi
+  rm -f "$log"
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all benches and examples ran clean (WA_SCALE=$WA_SCALE)"
+fi
+exit $status

@@ -1,0 +1,149 @@
+#pragma once
+// wa::dist::detail -- shared charging helpers for the distributed
+// algorithms.  Numerics run on ordinary matrices; these helpers charge
+// the corresponding local data movement to a processor's
+// memsim::Hierarchy in capacity-respecting chunks, so an algorithm
+// that claims to be blocked for M1/M2 words cannot silently cheat.
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "linalg/kernels.hpp"
+#include "memsim/hierarchy.hpp"
+
+namespace wa::dist::detail {
+
+/// Numerics shared by the SUMMA and 2.5D variants: C(i,j) += sum_k
+/// A(i,k) * B(k,j) over an s x s block grid with nb = n/s, executed
+/// in the same k-outer order the distributed schedules use.
+inline void block_multiply(linalg::MatrixView<double> C,
+                           linalg::ConstMatrixView<double> A,
+                           linalg::ConstMatrixView<double> B, std::size_t s,
+                           std::size_t nb) {
+  for (std::size_t k = 0; k < s; ++k) {
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = 0; j < s; ++j) {
+        linalg::gemm_acc(C.block(i * nb, j * nb, nb, nb),
+                         A.block(i * nb, k * nb, nb, nb),
+                         B.block(k * nb, j * nb, nb, nb));
+      }
+    }
+  }
+}
+
+/// Throw unless C, A, B are all square with the same edge; returns n.
+inline std::size_t require_square_equal(linalg::ConstMatrixView<double> C,
+                                        linalg::ConstMatrixView<double> A,
+                                        linalg::ConstMatrixView<double> B,
+                                        const char* who) {
+  const std::size_t n = C.rows();
+  if (C.cols() != n || A.rows() != n || A.cols() != n || B.rows() != n ||
+      B.cols() != n) {
+    throw std::invalid_argument(std::string(who) +
+                                ": matrices must be square and equal");
+  }
+  return n;
+}
+
+/// Largest square tile edge b with 3 b^2 <= M1 (>= 1).
+inline std::size_t l1_tile(std::size_t M1) {
+  std::size_t b = 1;
+  while (3 * (b + 1) * (b + 1) <= M1) ++b;
+  return b;
+}
+
+/// Chunk size for streaming through L2 without evicting residents.
+inline std::size_t l2_chunk(std::size_t M2) {
+  return std::max<std::size_t>(1, M2 / 4);
+}
+
+/// Charge the L1<->L2 traffic of a blocked local C(m x n) += A(m x k)
+/// * B(k x n): each C tile is loaded into L1 once and stored back to
+/// L2 exactly once; A/B tiles stream through and are discarded.
+inline void charge_local_gemm(memsim::Hierarchy& h, std::size_t m,
+                              std::size_t n, std::size_t k, std::size_t b) {
+  for (std::size_t i0 = 0; i0 < m; i0 += b) {
+    const std::size_t bi = std::min(b, m - i0);
+    for (std::size_t j0 = 0; j0 < n; j0 += b) {
+      const std::size_t bj = std::min(b, n - j0);
+      h.load(0, bi * bj);  // C tile
+      for (std::size_t k0 = 0; k0 < k; k0 += b) {
+        const std::size_t bk = std::min(b, k - k0);
+        h.load(0, bi * bk);
+        h.load(0, bk * bj);
+        h.flops(2 * std::uint64_t(bi) * bj * bk);
+        h.discard(0, bi * bk + bk * bj);
+      }
+      h.store(0, bi * bj);  // one write-back per tile
+    }
+  }
+}
+
+/// Chunk size that fits next to @p reserved resident words in L2.
+inline std::size_t l2_room(std::size_t M2, std::size_t reserved) {
+  const std::size_t room = M2 > reserved ? M2 - reserved : 2;
+  return std::max<std::size_t>(1, std::min(room / 2, l2_chunk(M2)));
+}
+
+/// Stream @p words from L3 through L2 (read and discard), chunked so
+/// they coexist with @p reserved already-resident L2 words.
+inline void charge_l3_read(memsim::Hierarchy& h, std::size_t words,
+                           std::size_t M2, std::size_t reserved = 0) {
+  const std::size_t chunk = l2_room(M2, reserved);
+  while (words > 0) {
+    const std::size_t w = std::min(chunk, words);
+    h.load(1, w);
+    h.discard(1, w);
+    words -= w;
+  }
+}
+
+/// Stream @p words from L2 into L3 (NVM writes), chunked so they
+/// coexist with @p reserved already-resident L2 words.
+inline void charge_l3_write(memsim::Hierarchy& h, std::size_t words,
+                            std::size_t M2, std::size_t reserved = 0) {
+  const std::size_t chunk = l2_room(M2, reserved);
+  while (words > 0) {
+    const std::size_t w = std::min(chunk, words);
+    h.alloc(1, w);
+    h.store(1, w);
+    words -= w;
+  }
+}
+
+/// Hold @p words transiently resident in L2 alongside @p reserved
+/// already-resident words, chunked so the level's capacity is never
+/// exceeded (pure occupancy bookkeeping: no channel traffic).
+inline void charge_l2_transit(memsim::Hierarchy& h, std::size_t words,
+                              std::size_t M2, std::size_t reserved) {
+  const std::size_t room = M2 > reserved ? M2 - reserved : 2;
+  const std::size_t chunk = std::max<std::size_t>(1, room / 2);
+  while (words > 0) {
+    const std::size_t w = std::min(chunk, words);
+    h.alloc(1, w);
+    h.discard(1, w);
+    words -= w;
+  }
+}
+
+/// Split @p words into @p pieces sizes differing by at most one word
+/// (their sum is exactly @p words).
+inline std::vector<std::size_t> split_words(std::size_t words,
+                                            std::size_t pieces) {
+  pieces = std::max<std::size_t>(1, pieces);
+  std::vector<std::size_t> out(pieces, words / pieces);
+  for (std::size_t i = 0; i < words % pieces; ++i) ++out[i];
+  return out;
+}
+
+/// Integer square root if @p v is a perfect square, else 0.
+inline std::size_t exact_sqrt(std::size_t v) {
+  std::size_t r = 0;
+  while ((r + 1) * (r + 1) <= v) ++r;
+  return r * r == v ? r : 0;
+}
+
+}  // namespace wa::dist::detail

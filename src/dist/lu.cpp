@@ -1,0 +1,143 @@
+#include "dist/lu.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/detail.hpp"
+#include "linalg/kernels.hpp"
+
+namespace wa::dist {
+namespace {
+
+std::size_t validate_lu(const Machine& m, linalg::ConstMatrixView<double> A,
+                        std::size_t b) {
+  if (A.rows() != A.cols() || A.rows() == 0) {
+    throw std::invalid_argument("lu: matrix must be square and nonempty");
+  }
+  if (b == 0 || b > A.rows()) {
+    throw std::invalid_argument("lu: panel width out of range");
+  }
+  const std::size_t sq = detail::exact_sqrt(m.nprocs());
+  if (sq == 0) {
+    throw std::invalid_argument("lu: P must be a perfect square");
+  }
+  return sq;
+}
+
+std::vector<std::size_t> all_procs(const Machine& m) {
+  std::vector<std::size_t> g(m.nprocs());
+  std::iota(g.begin(), g.end(), std::size_t{0});
+  return g;
+}
+
+std::size_t per_proc(std::size_t words, std::size_t P) {
+  return (words + P - 1) / P;  // ceil; zero work stays zero
+}
+
+}  // namespace
+
+void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
+                      std::size_t b) {
+  const std::size_t sq = validate_lu(m, A, b);
+  const std::size_t n = A.rows();
+  const std::size_t P = m.nprocs();
+  const auto all = all_procs(m);
+  const std::size_t b1 = detail::l1_tile(m.M1());
+
+  for (std::size_t k0 = 0; k0 < n; k0 += b) {
+    const std::size_t bs = std::min(b, n - k0);
+    const std::size_t rem = n - k0 - bs;
+
+    // Numerics: factor the diagonal block, solve the panels, update
+    // the trailing matrix (right-looking).
+    auto diag = A.block(k0, k0, bs, bs);
+    linalg::lu_nopivot_unblocked(diag);
+    if (rem > 0) {
+      linalg::trsm_left_unit_lower(diag, A.block(k0, k0 + bs, bs, rem));
+      linalg::trsm_right_upper(diag, A.block(k0 + bs, k0, rem, bs));
+      linalg::gemm_acc(A.block(k0 + bs, k0 + bs, rem, rem),
+                       A.block(k0 + bs, k0, rem, bs),
+                       A.block(k0, k0 + bs, bs, rem), -1.0);
+    }
+
+    // Communication: the factored L/U panels are broadcast exactly
+    // once; each processor's share is a 1/sqrt(P) strip of each.
+    m.bcast(all, per_proc((n - k0) * bs, sq));
+
+    // Local traffic: every processor streams its share of the
+    // trailing matrix out of NVM, applies the update, and writes it
+    // straight back -- the CA schedule's write-amplification.
+    const std::size_t trail = per_proc(rem * rem, P);
+    const std::size_t edge = per_proc(rem, sq);
+    m.run_local_all([&](memsim::Hierarchy& h) {
+      detail::charge_l3_read(h, trail + per_proc((n - k0) * bs, sq), m.M2());
+      detail::charge_local_gemm(h, edge, edge, bs, b1);
+      detail::charge_l3_write(h, trail, m.M2());
+    });
+  }
+}
+
+void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
+                     std::size_t s) {
+  const std::size_t sq = validate_lu(m, A, b);
+  if (s == 0) throw std::invalid_argument("lu: s must be positive");
+  const std::size_t n = A.rows();
+  const std::size_t P = m.nprocs();
+  const auto all = all_procs(m);
+  const std::size_t b1 = detail::l1_tile(m.M1());
+
+  for (std::size_t j0 = 0; j0 < n; j0 += b) {
+    const std::size_t w = std::min(b, n - j0);
+
+    // Numerics: pull all prior panel updates into block column j0,
+    // then factor its diagonal block and solve for L below it.
+    for (std::size_t k0 = 0; k0 < j0; k0 += b) {
+      const std::size_t kb = std::min(b, j0 - k0);
+      linalg::trsm_left_unit_lower(A.block(k0, k0, kb, kb),
+                                   A.block(k0, j0, kb, w));
+      const std::size_t rows = n - k0 - kb;
+      if (rows > 0) {
+        linalg::gemm_acc(A.block(k0 + kb, j0, rows, w),
+                         A.block(k0 + kb, k0, rows, kb),
+                         A.block(k0, j0, kb, w), -1.0);
+      }
+    }
+    auto diag = A.block(j0, j0, w, w);
+    linalg::lu_nopivot_unblocked(diag);
+    const std::size_t below = n - j0 - w;
+    if (below > 0) {
+      linalg::trsm_right_upper(diag, A.block(j0 + w, j0, below, w));
+    }
+
+    // Communication: every prior panel is re-broadcast, in batches of
+    // s panels (the s-step grouping trades message count only).
+    std::size_t prior_words = 0;
+    std::size_t batched = 0, in_batch = 0;
+    for (std::size_t k0 = 0; k0 < j0; k0 += b) {
+      const std::size_t kb = std::min(b, j0 - k0);
+      batched += (n - k0) * kb;
+      prior_words += (n - k0) * kb;
+      if (++in_batch == s) {
+        m.bcast(all, per_proc(batched, sq));
+        batched = 0;
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) m.bcast(all, per_proc(batched, sq));
+
+    // Local traffic: prior panels and the current column are *read*
+    // repeatedly, but the finished column is written to NVM exactly
+    // once -- the WA schedule's defining property.
+    const std::size_t col = per_proc((n - j0) * w, P);
+    const std::size_t height = per_proc(n - j0, sq);
+    m.run_local_all([&](memsim::Hierarchy& h) {
+      detail::charge_l3_read(h, col + per_proc(prior_words, P), m.M2());
+      detail::charge_local_gemm(h, height, w, j0, b1);
+      detail::charge_l3_write(h, col, m.M2());
+    });
+  }
+}
+
+}  // namespace wa::dist

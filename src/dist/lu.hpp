@@ -1,0 +1,35 @@
+#pragma once
+// wa::dist -- parallel LU without pivoting (Section 7.2), Model 2.2
+// (the matrix lives in NVM).  Two schedules realize the two ends of
+// the write/communication trade-off:
+//
+//   lu_left_looking   LL-LUNP, the write-avoiding schedule: each block
+//                     of the factorization is written to NVM exactly
+//                     once (~n^2/P words per processor), at the price
+//                     of re-broadcasting every prior panel when a new
+//                     block column is factored.  @p s groups the
+//                     prior-panel fetches into s-panel batches (fewer,
+//                     larger messages; the words are unchanged).
+//   lu_right_looking  RL-LUNP, the communication-avoiding schedule:
+//                     each panel is broadcast exactly once, but the
+//                     trailing matrix is read from and written back to
+//                     NVM on every step.
+//
+// Both overwrite A with L (unit lower) and U and must agree with
+// linalg::lu_nopivot_unblocked.  @p b is the panel width; P must be a
+// perfect square.
+
+#include <cstddef>
+
+#include "dist/machine.hpp"
+#include "linalg/matrix.hpp"
+
+namespace wa::dist {
+
+void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
+                     std::size_t s);
+
+void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
+                      std::size_t b);
+
+}  // namespace wa::dist

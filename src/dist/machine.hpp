@@ -1,0 +1,212 @@
+#pragma once
+// wa::dist -- the distributed machine model of Section 7 of the paper:
+// P processors, each with a private three-level hierarchy L1 (M1
+// words) / L2 (M2 words) / L3 (M3 words, e.g. NVM), connected by a
+// network.  Algorithms execute their numerics on ordinary matrices
+// while *charging* every word they move to per-processor counters:
+//
+//   nw        words/messages crossing the network (both endpoints)
+//   l3_read   words moving L3 -> L2      (NVM reads)
+//   l3_write  words moving L2 -> L3      (NVM writes -- the paper's
+//                                         expensive channel)
+//   l2_read   words moving L2 -> L1
+//   l2_write  words moving L1 -> L2
+//
+// Collectives use a binomial-tree cost model: a broadcast among g
+// processors charges ceil(log2 g) rounds to every participant.  The
+// machine's cost is the maximum over processors of the alpha-beta
+// time of its counters (the critical path), mirroring the per-channel
+// max-cost accounting the paper uses for Tables 1 and 2.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "memsim/hierarchy.hpp"
+
+namespace wa::dist {
+
+/// Word/message counters for one channel of one processor.
+struct ChanCount {
+  std::uint64_t words = 0;
+  std::uint64_t messages = 0;
+
+  void add(std::uint64_t w, std::uint64_t m = 1) {
+    words += w;
+    messages += m;
+  }
+};
+
+/// All counted channels of one processor.
+struct ProcTraffic {
+  ChanCount nw;        ///< network words (sent + received)
+  ChanCount l3_read;   ///< L3 -> L2
+  ChanCount l3_write;  ///< L2 -> L3
+  ChanCount l2_read;   ///< L2 -> L1
+  ChanCount l2_write;  ///< L1 -> L2
+};
+
+/// Per-channel latency (alpha, s/message) and inverse bandwidth
+/// (beta, s/word).  The named constructors bracket the NVM-speed
+/// regimes the paper's Section 7 planner distinguishes.
+struct HwParams {
+  double alpha_nw = 1e-6;  ///< network latency
+  double beta_nw = 2e-9;   ///< network inverse bandwidth
+  double beta_32 = 4e-9;   ///< L3 -> L2 read bandwidth (NVM read)
+  double beta_23 = 8e-9;   ///< L2 -> L3 write bandwidth (NVM write)
+  double beta_21 = 1e-10;  ///< L2 -> L1
+  double beta_12 = 1e-10;  ///< L1 -> L2
+
+  /// NVM as fast as the network: replication through L3 pays off.
+  static HwParams fast_nvm() {
+    HwParams hw;
+    hw.beta_32 = 0.25 * hw.beta_nw;
+    hw.beta_23 = 0.25 * hw.beta_nw;
+    return hw;
+  }
+  /// NVM writes far slower than the network: write-avoiding wins.
+  static HwParams slow_nvm() {
+    HwParams hw;
+    hw.beta_32 = 10.0 * hw.beta_nw;
+    hw.beta_23 = 30.0 * hw.beta_nw;
+    return hw;
+  }
+};
+
+/// The virtual distributed machine (see file comment).
+class Machine {
+ public:
+  Machine(std::size_t P, std::size_t M1, std::size_t M2, std::size_t M3,
+          HwParams hw = HwParams{})
+      : P_(P), M1_(M1), M2_(M2), M3_(M3), hw_(hw), procs_(P) {
+    if (P == 0) throw std::invalid_argument("Machine: P must be positive");
+    if (M1 == 0 || M1 >= M2 || M2 >= M3) {
+      throw std::invalid_argument(
+          "Machine: need 0 < M1 < M2 < M3 (strictly increasing levels)");
+    }
+  }
+
+  std::size_t nprocs() const { return P_; }
+  std::size_t M1() const { return M1_; }
+  std::size_t M2() const { return M2_; }
+  std::size_t M3() const { return M3_; }
+  const HwParams& hw() const { return hw_; }
+
+  const ProcTraffic& proc(std::size_t p) const { return procs_.at(p); }
+
+  /// Point-to-point transfer: @p words are charged to both endpoints
+  /// (the network channel counts words crossing a processor boundary).
+  void send(std::size_t src, std::size_t dst, std::size_t words) {
+    check_proc(src);
+    check_proc(dst);
+    if (src == dst) return;  // local move, no network traffic
+    procs_[src].nw.add(words);
+    procs_[dst].nw.add(words);
+  }
+
+  /// Rounds of a binomial-tree collective among @p g participants.
+  static std::uint64_t bcast_rounds(std::size_t g) {
+    std::uint64_t r = 0;
+    std::size_t v = 1;
+    while (v < g) {
+      v *= 2;
+      ++r;
+    }
+    return r;
+  }
+
+  /// Binomial-tree broadcast of @p words among @p group: every
+  /// participant is charged ceil(log2 |group|) rounds of @p words.
+  void bcast(const std::vector<std::size_t>& group, std::size_t words) {
+    const std::uint64_t rounds = bcast_rounds(group.size());
+    if (rounds == 0) return;
+    for (std::size_t p : group) check_proc(p);  // all-or-nothing charging
+    for (std::size_t p : group) procs_[p].nw.add(rounds * words, rounds);
+  }
+
+  /// Binomial-tree reduction: same cost shape as a broadcast.
+  void reduce(const std::vector<std::size_t>& group, std::size_t words) {
+    bcast(group, words);
+  }
+
+  /// Run a local phase on processor @p p: @p fn receives a fresh
+  /// three-level memsim::Hierarchy {M1, M2, M3} (capacities enforced);
+  /// the traffic it generates is absorbed into the processor's
+  /// channel counters.
+  template <class Fn>
+  void run_local(std::size_t p, Fn&& fn) {
+    check_proc(p);
+    memsim::Hierarchy h({M1_, M2_, M3_});
+    std::forward<Fn>(fn)(h);
+    absorb(procs_[p], h);
+  }
+
+  /// Run one identical local phase on *every* processor: the
+  /// hierarchy is simulated once and its traffic replicated, so a
+  /// P-way symmetric phase costs O(1) simulations instead of O(P).
+  template <class Fn>
+  void run_local_all(Fn&& fn) {
+    memsim::Hierarchy h({M1_, M2_, M3_});
+    std::forward<Fn>(fn)(h);
+    for (auto& t : procs_) absorb(t, h);
+  }
+
+  /// Alpha-beta time of one processor's counters.
+  double proc_cost(std::size_t p) const {
+    check_proc(p);
+    const ProcTraffic& t = procs_[p];
+    return hw_.alpha_nw * double(t.nw.messages) +
+           hw_.beta_nw * double(t.nw.words) +
+           hw_.beta_32 * double(t.l3_read.words) +
+           hw_.beta_23 * double(t.l3_write.words) +
+           hw_.beta_21 * double(t.l2_read.words) +
+           hw_.beta_12 * double(t.l2_write.words);
+  }
+
+  /// Max over processors of proc_cost (the modelled runtime).
+  double cost() const {
+    double c = 0.0;
+    for (std::size_t p = 0; p < P_; ++p) c = std::max(c, proc_cost(p));
+    return c;
+  }
+
+  /// Counters of the processor realizing cost() -- the critical path.
+  const ProcTraffic& critical_path() const {
+    std::size_t arg = 0;
+    double best = -1.0;
+    for (std::size_t p = 0; p < P_; ++p) {
+      const double c = proc_cost(p);
+      if (c > best) {
+        best = c;
+        arg = p;
+      }
+    }
+    return procs_[arg];
+  }
+
+  /// Zero all counters (geometry and HwParams are kept).
+  void reset() {
+    for (auto& t : procs_) t = ProcTraffic{};
+  }
+
+ private:
+  static void absorb(ProcTraffic& t, const memsim::Hierarchy& h) {
+    t.l2_read.add(h.loads_words(0), h.loads_messages(0));
+    t.l2_write.add(h.stores_words(0), h.stores_messages(0));
+    t.l3_read.add(h.loads_words(1), h.loads_messages(1));
+    t.l3_write.add(h.stores_words(1), h.stores_messages(1));
+  }
+
+  void check_proc(std::size_t p) const {
+    if (p >= P_) throw std::out_of_range("Machine: processor out of range");
+  }
+
+  std::size_t P_, M1_, M2_, M3_;
+  HwParams hw_;
+  std::vector<ProcTraffic> procs_;
+};
+
+}  // namespace wa::dist

@@ -1,0 +1,130 @@
+#include "dist/mm25d.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "dist/detail.hpp"
+#include "linalg/kernels.hpp"
+
+namespace wa::dist {
+namespace {
+
+struct Grid25d {
+  std::size_t s;      // layer grid edge: s*s*c == P
+  std::size_t c;      // layers
+  std::size_t nb;     // block edge: nb*s == n
+  std::size_t steps;  // SUMMA steps per layer: s/c
+};
+
+Grid25d validate_25d(const Machine& m, linalg::ConstMatrixView<double> C,
+                     linalg::ConstMatrixView<double> A,
+                     linalg::ConstMatrixView<double> B,
+                     const Mm25dOptions& opt) {
+  const std::size_t n = detail::require_square_equal(C, A, B, "mm_25d");
+  const std::size_t P = m.nprocs();
+  if (opt.c == 0 || P % opt.c != 0) {
+    throw std::invalid_argument("mm_25d: c must divide P");
+  }
+  const std::size_t s = detail::exact_sqrt(P / opt.c);
+  if (s == 0) {
+    throw std::invalid_argument("mm_25d: P/c must be a perfect square");
+  }
+  if (s % opt.c != 0) {
+    throw std::invalid_argument("mm_25d: c must divide sqrt(P/c)");
+  }
+  if (n == 0 || n % s != 0) {
+    throw std::invalid_argument("mm_25d: sqrt(P/c) must divide n");
+  }
+  return Grid25d{s, opt.c, n / s, s / opt.c};
+}
+
+std::size_t proc_id(const Grid25d& g, std::size_t i, std::size_t j,
+                    std::size_t l) {
+  return l * g.s * g.s + i * g.s + j;
+}
+
+}  // namespace
+
+void mm_25d(Machine& m, linalg::MatrixView<double> C,
+            linalg::ConstMatrixView<double> A,
+            linalg::ConstMatrixView<double> B, const Mm25dOptions& opt) {
+  const Grid25d g = validate_25d(m, C, A, B, opt);
+  const std::size_t blk = g.nb * g.nb;
+
+  // Numerics: every (i, j, k) block triple exactly once; layer l of
+  // the virtual machine covers k in [l*steps, (l+1)*steps).
+  detail::block_multiply(C, A, B, g.s, g.nb);
+
+  // Replication and reduction along the layer dimension, optionally
+  // chunked: the same words in more, smaller broadcasts.  Ceiling
+  // division so a chunk_c2 that does not divide c still broadcasts in
+  // pieces no coarser than chunk_c2 layer units.
+  const std::size_t chunk = std::min(opt.chunk_c2 == 0 ? g.c : opt.chunk_c2,
+                                     g.c);
+  const auto pieces = detail::split_words(blk, (g.c + chunk - 1) / chunk);
+  if (g.c > 1) {
+    for (std::size_t i = 0; i < g.s; ++i) {
+      for (std::size_t j = 0; j < g.s; ++j) {
+        std::vector<std::size_t> fiber(g.c);
+        for (std::size_t l = 0; l < g.c; ++l) fiber[l] = proc_id(g, i, j, l);
+        for (std::size_t w : pieces) {
+          m.bcast(fiber, w);  // replicate A(i,j)
+          m.bcast(fiber, w);  // replicate B(i,j)
+        }
+        for (std::size_t w : pieces) m.reduce(fiber, w);  // sum partial C
+      }
+    }
+  }
+
+  // SUMMA panel broadcasts within each layer.
+  for (std::size_t l = 0; l < g.c; ++l) {
+    for (std::size_t step = 0; step < g.steps; ++step) {
+      for (std::size_t i = 0; i < g.s; ++i) {
+        std::vector<std::size_t> row(g.s);
+        for (std::size_t j = 0; j < g.s; ++j) row[j] = proc_id(g, i, j, l);
+        m.bcast(row, blk);
+      }
+      for (std::size_t j = 0; j < g.s; ++j) {
+        std::vector<std::size_t> col(g.s);
+        for (std::size_t i = 0; i < g.s; ++i) col[i] = proc_id(g, i, j, l);
+        m.bcast(col, blk);
+      }
+    }
+  }
+
+  // Local traffic, identical on every processor.
+  const std::size_t b1 = detail::l1_tile(m.M1());
+  const std::size_t layer_rounds = Machine::bcast_rounds(g.c);
+  const std::size_t grid_rounds = Machine::bcast_rounds(g.s);
+  m.run_local_all([&](memsim::Hierarchy& h) {
+    if (opt.data_in_l3) {
+      // Model 2.2: nothing fits in L2, so every word received over
+      // the network is staged through NVM and re-read for compute
+      // (this is why Theorem 4 bites: L3 writes ~ W2 >> W1).
+      const std::size_t received =
+          3 * layer_rounds * blk + 2 * g.steps * grid_rounds * blk;
+      detail::charge_l3_read(h, 2 * blk, m.M2());  // own A/B blocks
+      detail::charge_l3_write(h, received, m.M2());
+      detail::charge_l3_read(h, received, m.M2());
+      for (std::size_t step = 0; step < g.steps; ++step) {
+        detail::charge_local_gemm(h, g.nb, g.nb, g.nb, b1);
+      }
+      detail::charge_l3_write(h, blk, m.M2());  // the C output
+    } else {
+      if (opt.use_l3) {
+        // Model 2.1: the extra replicas and the partial C live in
+        // NVM rather than DRAM: 1.5x of the replica volume written,
+        // 1x read back (the staging terms of 2.5DMML3).
+        detail::charge_l3_write(h, 3 * blk, m.M2());
+        detail::charge_l3_read(h, 3 * blk, m.M2());
+      }
+      for (std::size_t step = 0; step < g.steps; ++step) {
+        // Received panels pass through L2 (chunked when larger).
+        detail::charge_l2_transit(h, 2 * blk, m.M2(), 0);
+        detail::charge_local_gemm(h, g.nb, g.nb, g.nb, b1);
+      }
+    }
+  });
+}
+
+}  // namespace wa::dist

@@ -1,0 +1,44 @@
+#pragma once
+// wa::dist -- 2.5D matrix multiplication (Models 2.1/2.2 of Section
+// 7): P = s*s*c processors arranged as c replicated layers of an s x s
+// grid.  Replicating the inputs c-fold cuts the per-processor network
+// volume by ~sqrt(c); the options choose where the extra copies live
+// and whether the data fits in L2 at all:
+//
+//   c          replication factor (1 = plain SUMMA geometry)
+//   use_l3     stage the replicas through L3 (NVM) instead of DRAM --
+//              the 2.5DMML3 rows of Table 1 (Model 2.1)
+//   data_in_l3 Model 2.2: inputs/outputs live only in NVM, so every
+//              word received over the network is staged through L3 --
+//              this is the W2-attaining 2.5DMML3ooL2 variant whose NVM
+//              writes must exceed W1 (Theorem 4)
+//   chunk_c2   granularity of the replication/reduction broadcasts,
+//              in layer units: chunk_c2 = c sends each replica whole;
+//              chunk_c2 = 1 sends c chunks of 1/c size (same words,
+//              more messages).  A value not dividing c rounds to
+//              ceil(c / chunk_c2) pieces.  0 means whole.
+//
+// Throws std::invalid_argument unless c divides P, P/c is a perfect
+// square s*s, c divides s (layers split the s SUMMA steps evenly),
+// and s divides n.
+
+#include <cstddef>
+
+#include "dist/machine.hpp"
+#include "linalg/matrix.hpp"
+
+namespace wa::dist {
+
+struct Mm25dOptions {
+  std::size_t c = 1;
+  bool use_l3 = false;
+  bool data_in_l3 = false;
+  std::size_t chunk_c2 = 0;
+};
+
+void mm_25d(Machine& m, linalg::MatrixView<double> C,
+            linalg::ConstMatrixView<double> A,
+            linalg::ConstMatrixView<double> B,
+            const Mm25dOptions& opt = Mm25dOptions{});
+
+}  // namespace wa::dist

@@ -1,0 +1,135 @@
+#include "dist/summa.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "dist/detail.hpp"
+#include "linalg/kernels.hpp"
+
+namespace wa::dist {
+namespace {
+
+struct Grid2d {
+  std::size_t s;   // grid edge: s*s == P
+  std::size_t nb;  // block edge: nb*s == n
+};
+
+Grid2d validate_2d(const Machine& m, linalg::ConstMatrixView<double> C,
+                   linalg::ConstMatrixView<double> A,
+                   linalg::ConstMatrixView<double> B) {
+  const std::size_t n = detail::require_square_equal(C, A, B, "summa");
+  const std::size_t s = detail::exact_sqrt(m.nprocs());
+  if (s == 0) {
+    throw std::invalid_argument("summa: P must be a perfect square");
+  }
+  if (n == 0 || n % s != 0) {
+    throw std::invalid_argument("summa: sqrt(P) must divide n");
+  }
+  return Grid2d{s, n / s};
+}
+
+std::vector<std::size_t> row_group(std::size_t i, std::size_t s) {
+  std::vector<std::size_t> g(s);
+  for (std::size_t j = 0; j < s; ++j) g[j] = i * s + j;
+  return g;
+}
+
+std::vector<std::size_t> col_group(std::size_t j, std::size_t s) {
+  std::vector<std::size_t> g(s);
+  for (std::size_t i = 0; i < s; ++i) g[i] = i * s + j;
+  return g;
+}
+
+// Panel broadcasts of one SUMMA step: A(:,k) along rows, B(k,:) along
+// columns; every processor participates in exactly two of them.
+void charge_step_bcasts(Machine& m, const Grid2d& g, std::size_t words) {
+  for (std::size_t i = 0; i < g.s; ++i) m.bcast(row_group(i, g.s), words);
+  for (std::size_t j = 0; j < g.s; ++j) m.bcast(col_group(j, g.s), words);
+}
+
+}  // namespace
+
+void summa_2d(Machine& m, linalg::MatrixView<double> C,
+              linalg::ConstMatrixView<double> A,
+              linalg::ConstMatrixView<double> B) {
+  const Grid2d g = validate_2d(m, C, A, B);
+  detail::block_multiply(C, A, B, g.s, g.nb);
+
+  const std::size_t blk = g.nb * g.nb;
+  for (std::size_t k = 0; k < g.s; ++k) charge_step_bcasts(m, g, blk);
+
+  const std::size_t b1 = detail::l1_tile(m.M1());
+  m.run_local_all([&](memsim::Hierarchy& h) {
+    for (std::size_t k = 0; k < g.s; ++k) {
+      // Received panels pass through L2 (chunked if they are larger
+      // than the level).
+      detail::charge_l2_transit(h, 2 * blk, m.M2(), 0);
+      detail::charge_local_gemm(h, g.nb, g.nb, g.nb, b1);
+    }
+  });
+}
+
+void summa_2d_hoarding(Machine& m, linalg::MatrixView<double> C,
+                       linalg::ConstMatrixView<double> A,
+                       linalg::ConstMatrixView<double> B) {
+  const Grid2d g = validate_2d(m, C, A, B);
+  if (2 * g.nb * C.rows() > m.M2()) {
+    // Hoarding is exactly the variant that *requires* the extra L2
+    // memory; refuse upfront instead of failing mid-charge.
+    throw std::invalid_argument(
+        "summa_2d_hoarding: hoarded panels (2 n^2/sqrt(P) words) must fit "
+        "in L2");
+  }
+  detail::block_multiply(C, A, B, g.s, g.nb);
+
+  const std::size_t blk = g.nb * g.nb;
+  for (std::size_t k = 0; k < g.s; ++k) charge_step_bcasts(m, g, blk);
+
+  const std::size_t n = C.rows();
+  const std::size_t b1 = detail::l1_tile(m.M1());
+  m.run_local_all([&](memsim::Hierarchy& h) {
+    // Hoard the full A row panel and B column panel (2 nb n words)
+    // in L2 -- alloc enforces that the extra memory really exists --
+    // then multiply once: each C tile is written back exactly once.
+    h.alloc(1, 2 * g.nb * n);
+    detail::charge_local_gemm(h, g.nb, g.nb, n, b1);
+    h.discard(1, 2 * g.nb * n);
+  });
+}
+
+void summa_l3_ool2(Machine& m, linalg::MatrixView<double> C,
+                   linalg::ConstMatrixView<double> A,
+                   linalg::ConstMatrixView<double> B) {
+  const Grid2d g = validate_2d(m, C, A, B);
+  const std::size_t blk = g.nb * g.nb;
+  if (blk + 2 > m.M2()) {
+    // The W1 write bound hinges on the local C block staying resident
+    // in L2 until it is finished; refuse upfront (before any numerics
+    // or charging) rather than silently cheat.
+    throw std::invalid_argument(
+        "summa_l3_ool2: the local C block (n/sqrt(P))^2 must fit in L2");
+  }
+  detail::block_multiply(C, A, B, g.s, g.nb);
+
+  for (std::size_t k = 0; k < g.s; ++k) charge_step_bcasts(m, g, blk);
+
+  const std::size_t b1 = detail::l1_tile(m.M1());
+  m.run_local_all([&](memsim::Hierarchy& h) {
+    // C block accumulates in L2 across every step and is written to
+    // NVM exactly once at the end: W1-level L3 writes.
+    h.alloc(1, blk);
+    // Each processor owns one A and one B block in NVM and reads each
+    // from L3 exactly once, in the step where it broadcasts it (the
+    // step index varies per processor; the totals do not).
+    detail::charge_l3_read(h, 2 * blk, m.M2(), blk);
+    for (std::size_t k = 0; k < g.s; ++k) {
+      // Received panels stream through the L2 space left over next
+      // to the resident C block.
+      detail::charge_l2_transit(h, 2 * blk, m.M2(), blk);
+      detail::charge_local_gemm(h, g.nb, g.nb, g.nb, b1);
+    }
+    h.store(1, blk);  // the only NVM write: the finished C block
+  });
+}
+
+}  // namespace wa::dist

@@ -1,0 +1,39 @@
+#pragma once
+// wa::dist -- SUMMA-family parallel matrix multiplication on the
+// virtual Machine (Section 7 of the paper).
+//
+//   summa_2d        classical SUMMA on a sqrt(P) x sqrt(P) grid, data
+//                   resident in L2.  Each processor re-writes its C
+//                   block every step, so local L1->L2 writes are
+//                   W2-like (n^2/sqrt(P)), not W1 (n^2/P).
+//   summa_2d_hoarding
+//                   "write-hoarding" SUMMA: hoards the full A row
+//                   panel and B column panel in L2 first (extra
+//                   memory!), then multiplies once -- local C is
+//                   written to L2 exactly once, attaining W1.
+//   summa_l3_ool2   Model 2.2 (data in NVM): SUMMA that accumulates C
+//                   in L2 and writes NVM only ~W1 = n^2/P words, at
+//                   the price of Theta(n^3/(P sqrt(M2))) network words
+//                   (the WA side of the Theorem 4 trade-off).
+//
+// All variants throw std::invalid_argument unless P is a perfect
+// square, the matrices are square, and sqrt(P) divides n.
+
+#include "dist/machine.hpp"
+#include "linalg/matrix.hpp"
+
+namespace wa::dist {
+
+void summa_2d(Machine& m, linalg::MatrixView<double> C,
+              linalg::ConstMatrixView<double> A,
+              linalg::ConstMatrixView<double> B);
+
+void summa_2d_hoarding(Machine& m, linalg::MatrixView<double> C,
+                       linalg::ConstMatrixView<double> A,
+                       linalg::ConstMatrixView<double> B);
+
+void summa_l3_ool2(Machine& m, linalg::MatrixView<double> C,
+                   linalg::ConstMatrixView<double> A,
+                   linalg::ConstMatrixView<double> B);
+
+}  // namespace wa::dist

@@ -1,0 +1,209 @@
+// Extended coverage for the distributed machine and cost models,
+// beyond dist_test.cpp: broadcast cost growth in P, run_local
+// attribution of every channel, critical-path selection, geometry
+// validation of the SUMMA/2.5D front doors, and planner monotonicity
+// in the NVM-write bandwidth.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dist/cost_model.hpp"
+#include "dist/machine.hpp"
+#include "dist/mm25d.hpp"
+#include "dist/summa.hpp"
+#include "linalg/kernels.hpp"
+
+namespace wa::dist {
+namespace {
+
+using linalg::Matrix;
+
+TEST(BcastCost, WordsGrowLogarithmicallyInGroupSize) {
+  std::uint64_t prev = 0;
+  for (std::size_t P : {2, 4, 8, 16, 32, 64}) {
+    Machine m(P, 192, 4096, 1 << 22);
+    std::vector<std::size_t> all(P);
+    for (std::size_t p = 0; p < P; ++p) all[p] = p;
+    m.bcast(all, 100);
+    EXPECT_EQ(m.proc(0).nw.words, Machine::bcast_rounds(P) * 100);
+    EXPECT_GT(m.proc(0).nw.words, prev);  // strictly monotone in P
+    prev = m.proc(0).nw.words;
+  }
+}
+
+TEST(BcastCost, SingletonGroupIsFree) {
+  Machine m(4, 192, 4096, 1 << 22);
+  m.bcast({2}, 1000);
+  for (std::size_t p = 0; p < 4; ++p) EXPECT_EQ(m.proc(p).nw.words, 0u);
+}
+
+TEST(RunLocal, AttributesEveryChannelToTheRightCounter) {
+  Machine m(4, 192, 4096, 1 << 22);
+  m.run_local(1, [](memsim::Hierarchy& h) {
+    h.load(1, 100);   // L3 -> L2
+    h.load(0, 30);    // L2 -> L1
+    h.store(0, 30);   // L1 -> L2
+    h.store(1, 100);  // L2 -> L3
+  });
+  EXPECT_EQ(m.proc(1).l3_read.words, 100u);
+  EXPECT_EQ(m.proc(1).l3_write.words, 100u);
+  EXPECT_EQ(m.proc(1).l2_read.words, 30u);
+  EXPECT_EQ(m.proc(1).l2_write.words, 30u);
+  // Writes are costed: the NVM-write term must show up in proc_cost.
+  EXPECT_GT(m.proc_cost(1), m.hw().beta_23 * 100.0);
+  EXPECT_EQ(m.proc_cost(0), 0.0);
+}
+
+TEST(RunLocal, EnforcesL1Capacity) {
+  Machine m(4, 192, 4096, 1 << 22);
+  EXPECT_THROW(
+      m.run_local(0, [](memsim::Hierarchy& h) { h.load(0, 193); }),
+      memsim::CapacityError);
+}
+
+TEST(CriticalPath, PicksTheLoadedProcessor) {
+  Machine m(4, 192, 4096, 1 << 22);
+  m.send(2, 3, 10);
+  m.run_local(3, [](memsim::Hierarchy& h) {
+    h.alloc(1, 50);
+    h.store(1, 50);  // NVM writes make proc 3 the critical path
+  });
+  EXPECT_EQ(m.critical_path().l3_write.words, 50u);
+  EXPECT_DOUBLE_EQ(m.cost(), m.proc_cost(3));
+}
+
+TEST(MachineTest, RejectsNonIncreasingHierarchy) {
+  EXPECT_THROW(Machine(4, 0, 100, 1000), std::invalid_argument);
+  EXPECT_THROW(Machine(4, 200, 100, 1000), std::invalid_argument);
+  EXPECT_THROW(Machine(4, 10, 1000, 1000), std::invalid_argument);
+}
+
+// ---- geometry validation ------------------------------------------------
+
+TEST(SummaGeometry, RejectsNonSquareProcessorCount) {
+  Machine m(12, 192, 4096, 1 << 22);  // 12 is not a perfect square
+  Matrix<double> a(24, 24), b(24, 24), c(24, 24, 0.0);
+  EXPECT_THROW(summa_2d(m, c.view(), a.view(), b.view()),
+               std::invalid_argument);
+}
+
+TEST(SummaGeometry, RejectsIndivisibleMatrix) {
+  Machine m(16, 192, 4096, 1 << 22);
+  Matrix<double> a(30, 30), b(30, 30), c(30, 30, 0.0);  // 4 does not divide 30
+  EXPECT_THROW(summa_2d(m, c.view(), a.view(), b.view()),
+               std::invalid_argument);
+  EXPECT_THROW(summa_2d_hoarding(m, c.view(), a.view(), b.view()),
+               std::invalid_argument);
+  EXPECT_THROW(summa_l3_ool2(m, c.view(), a.view(), b.view()),
+               std::invalid_argument);
+}
+
+TEST(SummaGeometry, HoardingRejectsPanelsThatOverflowL2) {
+  Machine m(16, 192, 4096, 1 << 22);
+  const std::size_t n = 256;  // hoard = 2*64*256 = 32768 words >> M2
+  Matrix<double> a(n, n), b(n, n), c(n, n, 0.0);
+  EXPECT_THROW(summa_2d_hoarding(m, c.view(), a.view(), b.view()),
+               std::invalid_argument);
+  // And nothing was charged: the refusal happened before any traffic.
+  EXPECT_EQ(m.proc(0).nw.words, 0u);
+  EXPECT_EQ(m.proc(0).l2_write.words, 0u);
+}
+
+TEST(SummaGeometry, RejectsNonSquareMatrices) {
+  Machine m(16, 192, 4096, 1 << 22);
+  Matrix<double> a(32, 16), b(16, 32), c(32, 32, 0.0);
+  EXPECT_THROW(summa_2d(m, c.view(), a.view(), b.view()),
+               std::invalid_argument);
+}
+
+TEST(Mm25dGeometry, RejectsLayerCountNotDividingGrid) {
+  // P/c = 36 is a perfect square, but c = 4 does not divide s = 6, so
+  // the layers cannot split the SUMMA steps evenly.
+  Machine m(144, 192, 4096, 1 << 22);
+  Matrix<double> a(36, 36), b(36, 36), c(36, 36, 0.0);
+  Mm25dOptions opt;
+  opt.c = 4;
+  EXPECT_THROW(mm_25d(m, c.view(), a.view(), b.view(), opt),
+               std::invalid_argument);
+}
+
+TEST(Mm25dGeometry, RejectsZeroReplication) {
+  Machine m(16, 192, 4096, 1 << 22);
+  Matrix<double> a(32, 32), b(32, 32), c(32, 32, 0.0);
+  Mm25dOptions opt;
+  opt.c = 0;
+  EXPECT_THROW(mm_25d(m, c.view(), a.view(), b.view(), opt),
+               std::invalid_argument);
+}
+
+TEST(SummaOol2, BlocksJustUnderL2CapacityStream) {
+  // blk = 63^2 = 3969 words barely fits in M2 = 4096 next to nothing
+  // else: the owned-block reads and panel transit must stream in the
+  // leftover space instead of overflowing L2 mid-run.
+  Machine m(16, 192, 4096, 1 << 22);
+  const std::size_t n = 252;
+  Matrix<double> a(n, n), b(n, n), c(n, n, 0.0);
+  linalg::fill_random(a, 21);
+  linalg::fill_random(b, 22);
+  summa_l3_ool2(m, c.view(), a.view(), b.view());
+  // Still exactly one NVM write of the local C block.
+  EXPECT_EQ(m.proc(0).l3_write.words, 3969u);
+}
+
+TEST(Mm25dChunking, NonDividingChunkRoundsToFinerPieces) {
+  const std::size_t n = 48, P = 64;
+  Matrix<double> a(n, n), b(n, n);
+  linalg::fill_random(a, 23);
+  linalg::fill_random(b, 24);
+  auto run = [&](std::size_t chunk) {
+    Machine m(P, 192, 4096, 1 << 22);
+    Matrix<double> c(n, n, 0.0);
+    Mm25dOptions opt;
+    opt.c = 4;
+    opt.chunk_c2 = chunk;
+    mm_25d(m, c.view(), a.view(), b.view(), opt);
+    return m.critical_path();
+  };
+  const auto whole = run(4);
+  const auto odd = run(3);  // ceil(4/3) = 2 pieces: finer than whole
+  EXPECT_EQ(whole.nw.words, odd.nw.words);
+  EXPECT_GT(odd.nw.messages, whole.nw.messages);
+}
+
+// ---- planner monotonicity ----------------------------------------------
+
+TEST(Planner, RatioFallsAsNvmWritesSlowDown) {
+  double prev = 1e300;
+  for (double rel : {0.1, 1.0, 10.0, 100.0}) {
+    HwParams hw;
+    hw.beta_23 = rel * hw.beta_nw;
+    hw.beta_32 = rel * hw.beta_nw;
+    const double r = model21_speedup_ratio(1, 4, hw);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Planner, DomBetaCostsScaleWithReplication) {
+  const HwParams hw;
+  // More replicas always cut the DRAM-staged 2.5D cost.
+  EXPECT_LT(dom_beta_cost_25dmml2(1 << 14, 1 << 12, 16, hw),
+            dom_beta_cost_25dmml2(1 << 14, 1 << 12, 4, hw));
+  // The ratio formula is consistent with the two dominant costs.
+  const double t2 = dom_beta_cost_25dmml2(1 << 14, 1 << 12, 4, hw);
+  const double t3 = dom_beta_cost_25dmml3(1 << 14, 1 << 12, 16, hw);
+  EXPECT_NEAR(model21_speedup_ratio(4, 16, hw), t2 / t3, 1e-12);
+}
+
+TEST(CostModel, Table2ModelsMirrorTheoremFourShape) {
+  const std::size_t n = 1 << 15, P = 4096, M1 = 1 << 10, M2 = 1 << 17;
+  const auto t25 = table2_25dmml3ool2(n, P, M1, M2, 16);
+  const auto tsu = table2_summal3ool2(n, P, M1, M2);
+  // W2-attaining: fewer network words, far more NVM writes.
+  EXPECT_LT(t25.nw_words, tsu.nw_words);
+  EXPECT_GT(t25.l3w_words, 10.0 * tsu.l3w_words);
+}
+
+}  // namespace
+}  // namespace wa::dist
