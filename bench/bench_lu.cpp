@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "dist/backend.hpp"
 #include "dist/cost_model.hpp"
 #include "dist/lu.hpp"
 #include "dist/machine.hpp"
@@ -28,13 +29,13 @@ int main() {
   auto ref = a0;
   linalg::lu_nopivot_unblocked(ref.view());
 
-  Machine m_ll(P, M1, M2, M3);
+  Machine m_ll(P, M1, M2, M3, HwParams{}, backend_from_env());
   auto a_ll = a0;
   lu_left_looking(m_ll, a_ll.view(), /*b=*/2, /*s=*/2);
   std::printf("[LL-LUNP] numerics max|err| = %.2e\n",
               linalg::max_abs_diff(a_ll, ref));
 
-  Machine m_rl(P, M1, M2, M3);
+  Machine m_rl(P, M1, M2, M3, HwParams{}, backend_from_env());
   auto a_rl = a0;
   lu_right_looking(m_rl, a_rl.view(), /*b=*/4);
   std::printf("[RL-LUNP] numerics max|err| = %.2e\n\n",

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "dist/cost_model.hpp"
+#include "dist/planner.hpp"
 
 int main() {
   using namespace wa;
@@ -26,12 +26,14 @@ int main() {
       HwParams hw;
       hw.beta_23 = rel * hw.beta_nw;
       hw.beta_32 = 0.25 * rel * hw.beta_nw;
-      const double ratio = model21_speedup_ratio(c2, c3, hw);
+      const Planner planner(hw, PlannerProblem{n, P, 1 << 22});
+      const double ratio = planner.replication_ratio(c2, c3);
       const double t2 = dom_beta_cost_25dmml2(n, P, c2, hw);
       const double t3 = dom_beta_cost_25dmml3(n, P, c3, hw);
       t.row({bench::fmt_d(rel), std::to_string(c2), std::to_string(c3),
              bench::fmt_d(ratio), bench::fmt_d(t2, 4), bench::fmt_d(t3, 4),
-             ratio > 1.0 ? "use NVM (2.5DMML3)" : "stay in DRAM"});
+             planner.should_replicate(c2, c3) ? "use NVM (2.5DMML3)"
+                                              : "stay in DRAM"});
     }
   }
   t.print();

@@ -5,12 +5,22 @@
 // For each algorithm we print, per channel, the paper's closed-form
 // prediction next to the counters measured by actually executing the
 // algorithm on the virtual machine (critical-path = max over
-// processors).  Absolute agreement is not expected (the model keeps
-// only leading terms); the row ordering and growth are the claims.
+// processors), plus the measured wall-clock of the local phases.
+// Absolute agreement is not expected (the model keeps only leading
+// terms); the row ordering and growth are the claims.
+//
+// The counters run under the backend selected by WA_BACKEND
+// (serial|threaded; WA_THREADS sets the pool size); a final section
+// re-runs 2DMML2 under both backends and reports the wall-clock
+// speedup of the thread pool, whose counters are byte-identical to
+// the serial simulator's.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
+#include "dist/backend.hpp"
 #include "dist/cost_model.hpp"
 #include "dist/machine.hpp"
 #include "dist/mm25d.hpp"
@@ -21,8 +31,27 @@ namespace {
 using namespace wa;
 using namespace wa::dist;
 
+// True when every channel counter (words and messages) of every
+// processor agrees -- the backends' byte-identical-counters claim.
+bool same_counters(const Machine& x, const Machine& y) {
+  const auto eq = [](const ChanCount& a, const ChanCount& b) {
+    return a.words == b.words && a.messages == b.messages;
+  };
+  for (std::size_t p = 0; p < x.nprocs(); ++p) {
+    const ProcTraffic& a = x.proc(p);
+    const ProcTraffic& b = y.proc(p);
+    if (!eq(a.nw, b.nw) || !eq(a.l3_read, b.l3_read) ||
+        !eq(a.l3_write, b.l3_write) || !eq(a.l2_read, b.l2_read) ||
+        !eq(a.l2_write, b.l2_write)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void print_rows(const char* name, const MmCostModel& model,
-                const ProcTraffic& meas, const HwParams& hw) {
+                const Machine& m, const HwParams& hw) {
+  const ProcTraffic& meas = m.critical_path();
   bench::Table t({"channel", "model words", "meas. words", "model msgs",
                   "meas. msgs"});
   auto row = [&](const char* ch, double mw, const ChanCount& c, double mm) {
@@ -34,8 +63,10 @@ void print_rows(const char* name, const MmCostModel& model,
   row("L2->L3", model.l3w_words, meas.l3_write, model.l3w_msgs);
   row("L2->L1", model.l2r_words, meas.l2_read, model.l2r_msgs);
   row("L1->L2", model.l2w_words, meas.l2_write, model.l2w_msgs);
-  std::printf("\n%s (modelled alpha-beta time %.3e s)\n", name,
-              model.time(hw));
+  std::printf("\n%s (modelled alpha-beta time %.3e s, measured local "
+              "wall-clock %.3e s, %s backend)\n",
+              name, model.time(hw), m.local_wall_seconds(),
+              m.backend().name());
   t.print();
 }
 
@@ -46,7 +77,7 @@ int main() {
   const std::size_t P = 64;
   const std::size_t n = std::size_t(128 * sc);
   const std::size_t M1 = 192, M2 = 4096, M3 = 1 << 22;
-  const std::size_t c2 = 4, c3 = 4;  // P/c must be square, c | sqrt(P/c)
+  const std::size_t c2 = 4, c3 = 4;
   const HwParams hw;
 
   std::printf("Table 1: parallel matmul, data fits in L2.  n=%zu P=%zu "
@@ -60,33 +91,70 @@ int main() {
   linalg::gemm_acc(ref.view(), a.view(), b.view());
 
   {
-    Machine m(P, M1, M2, M3, hw);
+    Machine m(P, M1, M2, M3, hw, backend_from_env());
     linalg::Matrix<double> c(n, n, 0.0);
     mm_25d(m, c.view(), a.view(), b.view(), Mm25dOptions{1, false, false, 0});
     std::printf("[2DMML2]     numerics max|err| = %.2e\n",
                 max_abs_diff(c, ref));
-    print_rows("2DMML2 (c=1, L2 only)", table1_2dmml2(n, P, M1),
-               m.critical_path(), hw);
+    print_rows("2DMML2 (c=1, L2 only)", table1_2dmml2(n, P, M1), m, hw);
   }
   {
-    Machine m(P, M1, M2, M3, hw);
+    Machine m(P, M1, M2, M3, hw, backend_from_env());
     linalg::Matrix<double> c(n, n, 0.0);
     mm_25d(m, c.view(), a.view(), b.view(),
            Mm25dOptions{c2, false, false, 0});
     std::printf("[2.5DMML2]   numerics max|err| = %.2e\n",
                 max_abs_diff(c, ref));
     print_rows("2.5DMML2 (c=c2 replicas in DRAM)",
-               table1_25dmml2(n, P, M1, c2), m.critical_path(), hw);
+               table1_25dmml2(n, P, M1, c2), m, hw);
   }
   {
-    Machine m(P, M1, M2, M3, hw);
+    Machine m(P, M1, M2, M3, hw, backend_from_env());
     linalg::Matrix<double> c(n, n, 0.0);
     mm_25d(m, c.view(), a.view(), b.view(),
            Mm25dOptions{c3, true, false, c2});
     std::printf("[2.5DMML3]   numerics max|err| = %.2e\n",
                 max_abs_diff(c, ref));
     print_rows("2.5DMML3 (c=c3 replicas staged via NVM)",
-               table1_25dmml3(n, P, M1, M2, c2, c3), m.critical_path(), hw);
+               table1_25dmml3(n, P, M1, M2, c2, c3), m, hw);
+  }
+
+  // Execution-backend comparison: same algorithm, same counters,
+  // local phases on a thread pool instead of the serial simulator.
+  {
+    // At least 4 workers (WA_THREADS overrides): per-rank local
+    // phases are embarrassingly parallel, so any machine with >= 4
+    // cores shows wall-clock speedup at n >= 512 (WA_SCALE=4).
+    const std::size_t env_threads = threads_from_env();
+    const std::size_t threads =
+        env_threads != 0
+            ? env_threads
+            : std::max<std::size_t>(4, ThreadedBackend::default_threads());
+    Machine serial(P, M1, M2, M3, hw);
+    linalg::Matrix<double> cs(n, n, 0.0);
+    mm_25d(serial, cs.view(), a.view(), b.view(),
+           Mm25dOptions{1, false, false, 0});
+
+    Machine threaded(P, M1, M2, M3, hw,
+                     std::make_unique<ThreadedBackend>(threads));
+    linalg::Matrix<double> ct(n, n, 0.0);
+    mm_25d(threaded, ct.view(), a.view(), b.view(),
+           Mm25dOptions{1, false, false, 0});
+
+    const double ws = serial.local_wall_seconds();
+    const double wt = threaded.local_wall_seconds();
+    std::printf("\nBackend wall-clock, 2DMML2 local phases (n=%zu, P=%zu):\n",
+                n, P);
+    bench::Table t({"backend", "wall (s)", "speedup", "counters"});
+    const bool same = same_counters(serial, threaded);
+    t.row({"serial", bench::fmt_d(ws, 4), "1.00", "reference"});
+    t.row({"threaded x" + std::to_string(threads), bench::fmt_d(wt, 4),
+           bench::fmt_d(wt > 0 ? ws / wt : 0.0),
+           same ? "identical" : "MISMATCH"});
+    t.print();
+    std::printf("(numerics max|err| serial vs threaded = %.2e; speedup "
+                "needs problem sizes around n >= 512, e.g. WA_SCALE=4)\n",
+                max_abs_diff(cs, ct));
   }
 
   std::printf(

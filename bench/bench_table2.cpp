@@ -4,11 +4,16 @@
 // SUMMAL3ooL2 writes NVM exactly ~W1 = n^2/P but moves
 // Theta(n^3/(P sqrt(M2))) network words.  Theorem 4 proves no
 // algorithm can attain both.
+//
+// Local phases run under the backend selected by WA_BACKEND
+// (serial|threaded); the measured wall-clock is printed next to each
+// counter table.
 
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "bounds/bounds.hpp"
+#include "dist/backend.hpp"
 #include "dist/cost_model.hpp"
 #include "dist/machine.hpp"
 #include "dist/mm25d.hpp"
@@ -21,7 +26,8 @@ using namespace wa;
 using namespace wa::dist;
 
 void print_rows(const char* name, const MmCostModel& model,
-                const ProcTraffic& meas) {
+                const Machine& m) {
+  const ProcTraffic& meas = m.critical_path();
   bench::Table t({"channel", "model words", "meas. words"});
   auto row = [&](const char* ch, double mw, const ChanCount& c) {
     t.row({ch, bench::fmt_d(mw, 0), bench::fmt_u(c.words)});
@@ -31,7 +37,8 @@ void print_rows(const char* name, const MmCostModel& model,
   row("L2->L3", model.l3w_words, meas.l3_write);
   row("L2->L1", model.l2r_words, meas.l2_read);
   row("L1->L2", model.l2w_words, meas.l2_write);
-  std::printf("\n%s\n", name);
+  std::printf("\n%s (measured local wall-clock %.3e s, %s backend)\n", name,
+              m.local_wall_seconds(), m.backend().name());
   t.print();
 }
 
@@ -62,24 +69,24 @@ int main() {
 
   ProcTraffic t25, tsu;
   {
-    Machine m(P, M1, M2, M3);
+    Machine m(P, M1, M2, M3, HwParams{}, backend_from_env());
     linalg::Matrix<double> c(n, n, 0.0);
     mm_25d(m, c.view(), a.view(), b.view(), Mm25dOptions{c3, true, true, 0});
     std::printf("\n[2.5DMML3ooL2] numerics max|err| = %.2e\n",
                 max_abs_diff(c, ref));
     t25 = m.critical_path();
     print_rows("2.5DMML3ooL2 (attains W2, overshoots W1)",
-               table2_25dmml3ool2(n, P, M1, M2, c3), t25);
+               table2_25dmml3ool2(n, P, M1, M2, c3), m);
   }
   {
-    Machine m(P, M1, M2, M3);
+    Machine m(P, M1, M2, M3, HwParams{}, backend_from_env());
     linalg::Matrix<double> c(n, n, 0.0);
     summa_l3_ool2(m, c.view(), a.view(), b.view());
     std::printf("\n[SUMMAL3ooL2]  numerics max|err| = %.2e\n",
                 max_abs_diff(c, ref));
     tsu = m.critical_path();
     print_rows("SUMMAL3ooL2 (attains W1, overshoots W2)",
-               table2_summal3ool2(n, P, M1, M2), tsu);
+               table2_summal3ool2(n, P, M1, M2), m);
   }
 
   std::printf("\nTheorem 4 check:\n");

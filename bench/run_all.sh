@@ -12,9 +12,12 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
   exit 1
 fi
 
-# WA_SCALE shrinks the paper-sized problems; 0.5 keeps every geometry
-# constraint (square grids, divisibility) intact.
+# WA_SCALE shrinks the paper-sized problems (0.5 keeps the default
+# geometries small); WA_BACKEND selects the distributed execution
+# backend (serial|threaded, WA_THREADS sets the pool size) for the
+# dist benches, so CI smokes both execution paths.
 export WA_SCALE="${WA_SCALE:-0.5}"
+export WA_BACKEND="${WA_BACKEND:-serial}"
 
 status=0
 for exe in "$BUILD_DIR"/bench/bench_* "$BUILD_DIR"/examples/example_*; do
@@ -41,6 +44,6 @@ for exe in "$BUILD_DIR"/bench/bench_* "$BUILD_DIR"/examples/example_*; do
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "all benches and examples ran clean (WA_SCALE=$WA_SCALE)"
+  echo "all benches and examples ran clean (WA_SCALE=$WA_SCALE, WA_BACKEND=$WA_BACKEND)"
 fi
 exit $status

@@ -1,7 +1,7 @@
 // NVM deployment planner (Section 7, Models 2.1/2.2).
 //
-// Given your cluster's hardware ratios, this example answers the two
-// questions the paper's performance models are built for:
+// Given your cluster's hardware ratios, the wa::dist::Planner answers
+// the two questions the paper's performance models are built for:
 //   1. Model 2.1 -- data fits in DRAM: is it worth replicating extra
 //      input copies into NVM to cut network traffic (2.5DMML3 vs
 //      2.5DMML2)?
@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "dist/cost_model.hpp"
+#include "dist/planner.hpp"
 
 int main(int argc, char** argv) {
   using namespace wa::dist;
@@ -26,36 +26,34 @@ int main(int argc, char** argv) {
   hw.beta_23 = w_ratio * hw.beta_nw;  // NVM write / network
   hw.beta_32 = r_ratio * hw.beta_nw;  // NVM read / network
 
-  const std::size_t n = 1 << 15, P = 1 << 12, M2 = 1 << 22;
+  const PlannerProblem prob{1 << 15, 1 << 12, 1 << 22};
+  const Planner planner(hw, prob);
 
   std::printf("NVM planner: beta23 = %.1f x betaNW, beta32 = %.1f x betaNW"
               " (n=%zu, P=%zu, M2=%zu)\n\n",
-              w_ratio, r_ratio, n, P, M2);
+              w_ratio, r_ratio, prob.n, prob.P, prob.M2);
 
   std::printf("--- Model 2.1: data fits in DRAM; add NVM replicas? ---\n");
   for (auto [c2, c3] : {std::pair<std::size_t, std::size_t>{1, 8},
                         {2, 8}, {4, 16}}) {
-    const double ratio = model21_speedup_ratio(c2, c3, hw);
     std::printf("  c2=%zu -> c3=%zu : predicted speedup %.2fx -> %s\n", c2,
-                c3, ratio,
-                ratio > 1.0 ? "REPLICATE into NVM (2.5DMML3)"
-                            : "stay DRAM-only (2.5DMML2)");
+                c3, planner.replication_ratio(c2, c3),
+                planner.should_replicate(c2, c3)
+                    ? "REPLICATE into NVM (2.5DMML3)"
+                    : "stay DRAM-only (2.5DMML2)");
   }
 
   std::printf("\n--- Model 2.2: data only fits in NVM ---\n");
-  const std::size_t c3 = 8;
-  const double t25 = dom_beta_cost_25dmml3ool2(n, P, M2, c3, hw);
-  const double tsu = dom_beta_cost_summal3ool2(n, P, M2, hw);
-  std::printf("  matmul: 2.5DMML3ooL2 %.3e s | SUMMAL3ooL2 %.3e s -> %s\n",
-              t25, tsu,
-              t25 < tsu ? "2.5DMML3ooL2 (network-optimal)"
-                        : "SUMMAL3ooL2 (NVM-write-optimal)");
-  const auto ll = lu_ll_cost(n, P, M2);
-  const auto rl = lu_rl_cost(n, P, M2);
-  std::printf("  LU    : LL-LUNP %.3e s | RL-LUNP %.3e s -> %s\n",
-              ll.time(hw), rl.time(hw),
-              ll.time(hw) < rl.time(hw) ? "LL-LUNP (write-avoiding)"
-                                        : "RL-LUNP (network-optimal)");
+  const PlannerChoice mm = planner.matmul(/*c3=*/8);
+  std::printf("  matmul: run %s (%.3e s; the alternative needs %.3e s, "
+              "%.2fx slower)\n",
+              mm.algorithm.c_str(), mm.predicted_seconds,
+              mm.alternative_seconds, mm.speedup());
+  const PlannerChoice lu = planner.lu();
+  std::printf("  LU    : run %s (%.3e s; the alternative needs %.3e s, "
+              "%.2fx slower)\n",
+              lu.algorithm.c_str(), lu.predicted_seconds,
+              lu.alternative_seconds, lu.speedup());
 
   std::printf(
       "\nTheorem 4 reminder: no matmul algorithm can attain both the"

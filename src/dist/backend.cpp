@@ -1,0 +1,62 @@
+#include "dist/backend.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "dist/grid.hpp"
+
+namespace wa::dist {
+
+void ThreadedBackend::run(const std::vector<std::size_t>& ranks,
+                          const std::vector<std::size_t>& capacities,
+                          const LocalFn& fn, const Sink& sink) {
+  const std::size_t T = std::min(threads_, ranks.size());
+  if (T <= 1) {
+    run_serially(ranks, capacities, fn, sink);
+    return;
+  }
+
+  // Each worker owns a contiguous slice of ranks and charges into its
+  // own shard; no state is shared until the merge below, so local
+  // phases may freely run numerics on disjoint matrix blocks.
+  struct Shard {
+    std::vector<std::pair<std::size_t, memsim::Hierarchy>> done;
+    std::exception_ptr error;
+  };
+  std::vector<Shard> shards(T);
+  std::vector<std::thread> pool;
+  pool.reserve(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    pool.emplace_back([&, t] {
+      Shard& shard = shards[t];
+      try {
+        const BlockRange slice = balanced_block(ranks.size(), T, t);
+        shard.done.reserve(slice.sz);
+        for (std::size_t idx = slice.off; idx < slice.off + slice.sz; ++idx) {
+          memsim::Hierarchy h(capacities);
+          fn(ranks[idx], h);
+          shard.done.emplace_back(ranks[idx], std::move(h));
+        }
+      } catch (...) {
+        shard.error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  // Merge shards in thread order (= rank order): every rank's
+  // hierarchy lands in its own counter slot, so the result is
+  // byte-identical to a serial run regardless of scheduling.  On
+  // error, merging up to the first failed shard and rethrowing there
+  // reproduces serial semantics exactly: every thread before the
+  // first error completed its whole (lower-ranked) slice, so the
+  // merged prefix is precisely the ranks a serial run would have
+  // charged before throwing; later threads' work is discarded just
+  // as a serial run would never have reached it.
+  for (const Shard& shard : shards) {
+    for (const auto& [rank, h] : shard.done) sink(rank, h);
+    if (shard.error) std::rethrow_exception(shard.error);
+  }
+}
+
+}  // namespace wa::dist

@@ -1,0 +1,153 @@
+#pragma once
+// wa::dist -- the execution layer of the distributed machine model.
+//
+// A Backend decides *how* the per-processor local phases of a
+// distributed algorithm are executed; the Machine only owns the
+// counters they charge.  Two implementations:
+//
+//   SerialSimBackend  the original counter simulator: local phases
+//                     run one after another on the calling thread
+//                     (replicated symmetric phases are simulated once
+//                     and their counters copied).
+//   ThreadedBackend   runs the per-rank local phases -- numerics and
+//                     charging -- on a std::thread pool.  Each worker
+//                     charges fresh per-rank hierarchies into a
+//                     per-thread shard; shards are merged on the
+//                     calling thread after the pool joins, so channel
+//                     counters are byte-identical to the serial
+//                     backend while the numerics get real wall-clock
+//                     parallelism.
+//
+// A local phase receives (rank, Hierarchy&): the hierarchy enforces
+// L1/L2 capacities exactly as before; the finished hierarchy is
+// delivered to a sink that absorbs it into the rank's counters.
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "memsim/hierarchy.hpp"
+
+namespace wa::dist {
+
+class Backend {
+ public:
+  /// One rank's local phase: numerics plus charging against a fresh
+  /// capacity-enforcing hierarchy.
+  using LocalFn = std::function<void(std::size_t, memsim::Hierarchy&)>;
+  /// A rank-agnostic (symmetric) charging phase.
+  using PhaseFn = std::function<void(memsim::Hierarchy&)>;
+  /// Receives each finished hierarchy for counter absorption.
+  using Sink = std::function<void(std::size_t, const memsim::Hierarchy&)>;
+
+  virtual ~Backend() = default;
+  virtual const char* name() const = 0;
+
+  /// Execute @p fn once per rank in @p ranks, each against a fresh
+  /// Hierarchy with @p capacities, delivering every finished
+  /// hierarchy to @p sink.
+  virtual void run(const std::vector<std::size_t>& ranks,
+                   const std::vector<std::size_t>& capacities,
+                   const LocalFn& fn, const Sink& sink) = 0;
+
+  /// Identical charging-only phase on every rank: any backend yields
+  /// the same counters, so the shared implementation simulates once
+  /// and replicates (O(1) simulations for a P-way symmetric phase).
+  virtual void run_replicated(const std::vector<std::size_t>& ranks,
+                              const std::vector<std::size_t>& capacities,
+                              const PhaseFn& fn, const Sink& sink) {
+    if (ranks.empty()) return;
+    memsim::Hierarchy h(capacities);
+    fn(h);
+    for (std::size_t p : ranks) sink(p, h);
+  }
+
+ protected:
+  /// The one serial execution loop, shared by SerialSimBackend and
+  /// ThreadedBackend's single-worker fallback so they cannot diverge.
+  static void run_serially(const std::vector<std::size_t>& ranks,
+                           const std::vector<std::size_t>& capacities,
+                           const LocalFn& fn, const Sink& sink) {
+    for (std::size_t p : ranks) {
+      memsim::Hierarchy h(capacities);
+      fn(p, h);
+      sink(p, h);
+    }
+  }
+};
+
+/// The original serial counter simulator (see file comment).
+class SerialSimBackend final : public Backend {
+ public:
+  const char* name() const override { return "serial"; }
+
+  void run(const std::vector<std::size_t>& ranks,
+           const std::vector<std::size_t>& capacities, const LocalFn& fn,
+           const Sink& sink) override {
+    run_serially(ranks, capacities, fn, sink);
+  }
+};
+
+/// std::thread pool backend (see file comment).
+class ThreadedBackend final : public Backend {
+ public:
+  /// @param threads  pool size; 0 means hardware_concurrency.
+  explicit ThreadedBackend(std::size_t threads = 0)
+      : threads_(threads != 0 ? threads : default_threads()) {}
+
+  const char* name() const override { return "threaded"; }
+  std::size_t threads() const { return threads_; }
+
+  void run(const std::vector<std::size_t>& ranks,
+           const std::vector<std::size_t>& capacities, const LocalFn& fn,
+           const Sink& sink) override;
+
+  static std::size_t default_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc != 0 ? hc : 4;
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+/// Backend by name, for tools and benches: "serial" or "threaded"
+/// (with an optional thread count, 0 = hardware_concurrency).
+inline std::unique_ptr<Backend> make_backend(const std::string& name,
+                                             std::size_t threads = 0) {
+  if (name.empty() || name == "serial") {
+    return std::make_unique<SerialSimBackend>();
+  }
+  if (name == "threaded") return std::make_unique<ThreadedBackend>(threads);
+  throw std::invalid_argument("make_backend: unknown backend '" + name +
+                              "' (expected serial|threaded)");
+}
+
+/// Thread count requested via WA_THREADS: 0 when unset, empty, or 0
+/// (all meaning "pick a default").  Negative or non-numeric values
+/// are rejected rather than wrapped or silently defaulted.
+inline std::size_t threads_from_env() {
+  const char* threads = std::getenv("WA_THREADS");
+  if (threads == nullptr || *threads == '\0') return 0;
+  char* end = nullptr;
+  const long count = std::strtol(threads, &end, 10);
+  if (*end != '\0' || count < 0) {
+    throw std::invalid_argument(
+        "threads_from_env: WA_THREADS must be a non-negative integer, got '" +
+        std::string(threads) + "'");
+  }
+  return std::size_t(count);
+}
+
+/// Backend selected by the WA_BACKEND (serial|threaded) and
+/// WA_THREADS environment variables; serial when unset.
+inline std::unique_ptr<Backend> backend_from_env() {
+  const char* name = std::getenv("WA_BACKEND");
+  return make_backend(name != nullptr ? name : "serial", threads_from_env());
+}
+
+}  // namespace wa::dist

@@ -16,24 +16,6 @@
 
 namespace wa::dist::detail {
 
-/// Numerics shared by the SUMMA and 2.5D variants: C(i,j) += sum_k
-/// A(i,k) * B(k,j) over an s x s block grid with nb = n/s, executed
-/// in the same k-outer order the distributed schedules use.
-inline void block_multiply(linalg::MatrixView<double> C,
-                           linalg::ConstMatrixView<double> A,
-                           linalg::ConstMatrixView<double> B, std::size_t s,
-                           std::size_t nb) {
-  for (std::size_t k = 0; k < s; ++k) {
-    for (std::size_t i = 0; i < s; ++i) {
-      for (std::size_t j = 0; j < s; ++j) {
-        linalg::gemm_acc(C.block(i * nb, j * nb, nb, nb),
-                         A.block(i * nb, k * nb, nb, nb),
-                         B.block(k * nb, j * nb, nb, nb));
-      }
-    }
-  }
-}
-
 /// Throw unless C, A, B are all square with the same edge; returns n.
 inline std::size_t require_square_equal(linalg::ConstMatrixView<double> C,
                                         linalg::ConstMatrixView<double> A,
@@ -137,13 +119,6 @@ inline std::vector<std::size_t> split_words(std::size_t words,
   std::vector<std::size_t> out(pieces, words / pieces);
   for (std::size_t i = 0; i < words % pieces; ++i) ++out[i];
   return out;
-}
-
-/// Integer square root if @p v is a perfect square, else 0.
-inline std::size_t exact_sqrt(std::size_t v) {
-  std::size_t r = 0;
-  while ((r + 1) * (r + 1) <= v) ++r;
-  return r * r == v ? r : 0;
 }
 
 }  // namespace wa::dist::detail

@@ -1,0 +1,191 @@
+#pragma once
+// wa::dist -- the topology layer of the distributed machine model.
+//
+// ProcessGrid owns every piece of geometry the Section 7 algorithms
+// used to hand-roll: rank <-> (row, col) mapping, row/column
+// communicator groups, and the *padded* block decomposition of an
+// n x n matrix over the grid.  Any processor count P is accepted (P
+// is factored into the nearest pr x pc rectangle, so prime P yields a
+// 1 x P grid rather than a rejection), and any matrix edge n is
+// accepted (edge blocks are sized with the balanced ceil/floor split,
+// so rows/columns that do not divide evenly shrink the last blocks
+// instead of throwing).
+//
+// ProcessGrid3D adds the replicated-layer dimension of the 2.5D
+// algorithms: c layers of a ProcessGrid over P/c processors, with
+// fiber groups across layers and a balanced split of the SUMMA step
+// sequence over layers (c no longer has to divide the grid edge).
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace wa::dist {
+
+/// Half-open index range [off, off + sz) of one block of a
+/// 1-D balanced partition.
+struct BlockRange {
+  std::size_t off = 0;
+  std::size_t sz = 0;
+};
+
+/// Block @p i of @p n items split into @p parts balanced pieces: the
+/// first n % parts blocks get one extra item, so sizes differ by at
+/// most one and always sum to n (blocks may be empty when n < parts).
+inline BlockRange balanced_block(std::size_t n, std::size_t parts,
+                                 std::size_t i) {
+  const std::size_t q = n / parts, r = n % parts;
+  return BlockRange{i * q + std::min(i, r), q + (i < r ? 1 : 0)};
+}
+
+/// 2-D process topology: pr x pc ranks in row-major order.
+class ProcessGrid {
+ public:
+  /// Factor @p P into the most-square pr x pc rectangle with
+  /// pr <= pc and pr * pc == P (1 x P when P is prime).
+  explicit ProcessGrid(std::size_t P) {
+    if (P == 0) {
+      throw std::invalid_argument("ProcessGrid: P must be positive");
+    }
+    std::size_t pr = 1;
+    for (std::size_t d = 1; d * d <= P; ++d) {
+      if (P % d == 0) pr = d;
+    }
+    pr_ = pr;
+    pc_ = P / pr;
+  }
+
+  /// Explicit pr x pc shape.
+  ProcessGrid(std::size_t pr, std::size_t pc) : pr_(pr), pc_(pc) {
+    if (pr == 0 || pc == 0) {
+      throw std::invalid_argument("ProcessGrid: dims must be positive");
+    }
+  }
+
+  std::size_t rows() const { return pr_; }
+  std::size_t cols() const { return pc_; }
+  std::size_t size() const { return pr_ * pc_; }
+
+  std::size_t rank(std::size_t i, std::size_t j) const { return i * pc_ + j; }
+  std::size_t row_of(std::size_t p) const { return p / pc_; }
+  std::size_t col_of(std::size_t p) const { return p % pc_; }
+
+  /// All ranks of grid row @p i (the A-panel broadcast group).
+  std::vector<std::size_t> row_group(std::size_t i) const {
+    std::vector<std::size_t> g(pc_);
+    for (std::size_t j = 0; j < pc_; ++j) g[j] = rank(i, j);
+    return g;
+  }
+
+  /// All ranks of grid column @p j (the B-panel broadcast group).
+  std::vector<std::size_t> col_group(std::size_t j) const {
+    std::vector<std::size_t> g(pr_);
+    for (std::size_t i = 0; i < pr_; ++i) g[i] = rank(i, j);
+    return g;
+  }
+
+  /// Rows [off, off+sz) of an n-row matrix owned by grid row @p i.
+  BlockRange row_block(std::size_t n, std::size_t i) const {
+    return balanced_block(n, pr_, i);
+  }
+
+  /// Columns [off, off+sz) of an n-column matrix owned by grid
+  /// column @p j.
+  BlockRange col_block(std::size_t n, std::size_t j) const {
+    return balanced_block(n, pc_, j);
+  }
+
+  /// Largest owned block, in words (the first blocks of a balanced
+  /// split are the big ones) -- capacity preconditions check this.
+  std::size_t max_block_words(std::size_t n) const {
+    return row_block(n, 0).sz * col_block(n, 0).sz;
+  }
+
+  /// Partition of the contraction dimension into SUMMA panels: the
+  /// common refinement of the row-block and column-block boundaries,
+  /// so every panel has a unique owner column (in A) and owner row
+  /// (in B) even on rectangular grids.  On a square grid with
+  /// pr | n this is exactly the classical pr panels of width n/pr.
+  std::vector<BlockRange> k_panels(std::size_t n) const {
+    std::vector<std::size_t> cuts;
+    cuts.reserve(pr_ + pc_ + 1);
+    cuts.push_back(0);
+    for (std::size_t i = 1; i < pr_; ++i) cuts.push_back(row_block(n, i).off);
+    for (std::size_t j = 1; j < pc_; ++j) cuts.push_back(col_block(n, j).off);
+    cuts.push_back(n);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    std::vector<BlockRange> panels;
+    panels.reserve(cuts.size() - 1);
+    for (std::size_t t = 0; t + 1 < cuts.size(); ++t) {
+      panels.push_back(BlockRange{cuts[t], cuts[t + 1] - cuts[t]});
+    }
+    return panels;
+  }
+
+ private:
+  std::size_t pr_ = 1, pc_ = 1;
+};
+
+/// 3-D process topology for the 2.5D algorithms: @p c replicated
+/// layers of a ProcessGrid over P/c ranks.  Rank of (i, j, l) is
+/// l * (P/c) + layer rank, so layer 0 is the "home" layer holding the
+/// canonical copy of the data.
+class ProcessGrid3D {
+ public:
+  ProcessGrid3D(std::size_t P, std::size_t c)
+      : layer_(checked_layer_size(P, c)), c_(c) {}
+
+  const ProcessGrid& layer() const { return layer_; }
+  std::size_t layers() const { return c_; }
+  std::size_t size() const { return layer_.size() * c_; }
+
+  std::size_t rank(std::size_t i, std::size_t j, std::size_t l) const {
+    return l * layer_.size() + layer_.rank(i, j);
+  }
+  std::size_t layer_of(std::size_t p) const { return p / layer_.size(); }
+  std::size_t layer_rank_of(std::size_t p) const { return p % layer_.size(); }
+
+  /// The c ranks holding position (i, j) across all layers (the
+  /// replication/reduction group).
+  std::vector<std::size_t> fiber_group(std::size_t i, std::size_t j) const {
+    std::vector<std::size_t> g(c_);
+    for (std::size_t l = 0; l < c_; ++l) g[l] = rank(i, j, l);
+    return g;
+  }
+
+  std::vector<std::size_t> row_group(std::size_t i, std::size_t l) const {
+    std::vector<std::size_t> g(layer_.cols());
+    for (std::size_t j = 0; j < layer_.cols(); ++j) g[j] = rank(i, j, l);
+    return g;
+  }
+
+  std::vector<std::size_t> col_group(std::size_t j, std::size_t l) const {
+    std::vector<std::size_t> g(layer_.rows());
+    for (std::size_t i = 0; i < layer_.rows(); ++i) g[i] = rank(i, j, l);
+    return g;
+  }
+
+  /// Layer @p l's balanced share of @p steps SUMMA steps (layers no
+  /// longer have to divide the step count evenly).
+  BlockRange layer_steps(std::size_t steps, std::size_t l) const {
+    return balanced_block(steps, c_, l);
+  }
+
+ private:
+  static std::size_t checked_layer_size(std::size_t P, std::size_t c) {
+    if (P == 0) {
+      throw std::invalid_argument("ProcessGrid3D: P must be positive");
+    }
+    if (c == 0 || P % c != 0) {
+      throw std::invalid_argument("ProcessGrid3D: c must divide P");
+    }
+    return P / c;
+  }
+
+  ProcessGrid layer_;
+  std::size_t c_;
+};
+
+}  // namespace wa::dist

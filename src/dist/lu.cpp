@@ -11,6 +11,9 @@
 namespace wa::dist {
 namespace {
 
+// Validate shapes and return the grid's row count: the divisor of
+// per-processor panel shares (a block column is distributed over one
+// grid dimension; the old code's sqrt(P)).
 std::size_t validate_lu(const Machine& m, linalg::ConstMatrixView<double> A,
                         std::size_t b) {
   if (A.rows() != A.cols() || A.rows() == 0) {
@@ -19,11 +22,7 @@ std::size_t validate_lu(const Machine& m, linalg::ConstMatrixView<double> A,
   if (b == 0 || b > A.rows()) {
     throw std::invalid_argument("lu: panel width out of range");
   }
-  const std::size_t sq = detail::exact_sqrt(m.nprocs());
-  if (sq == 0) {
-    throw std::invalid_argument("lu: P must be a perfect square");
-  }
-  return sq;
+  return ProcessGrid(m.nprocs()).rows();
 }
 
 std::vector<std::size_t> all_procs(const Machine& m) {
@@ -40,7 +39,7 @@ std::size_t per_proc(std::size_t words, std::size_t P) {
 
 void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
                       std::size_t b) {
-  const std::size_t sq = validate_lu(m, A, b);
+  const std::size_t gr = validate_lu(m, A, b);
   const std::size_t n = A.rows();
   const std::size_t P = m.nprocs();
   const auto all = all_procs(m);
@@ -64,15 +63,15 @@ void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
 
     // Communication: the factored L/U panels are broadcast exactly
     // once; each processor's share is a 1/sqrt(P) strip of each.
-    m.bcast(all, per_proc((n - k0) * bs, sq));
+    m.bcast(all, per_proc((n - k0) * bs, gr));
 
     // Local traffic: every processor streams its share of the
     // trailing matrix out of NVM, applies the update, and writes it
     // straight back -- the CA schedule's write-amplification.
     const std::size_t trail = per_proc(rem * rem, P);
-    const std::size_t edge = per_proc(rem, sq);
+    const std::size_t edge = per_proc(rem, gr);
     m.run_local_all([&](memsim::Hierarchy& h) {
-      detail::charge_l3_read(h, trail + per_proc((n - k0) * bs, sq), m.M2());
+      detail::charge_l3_read(h, trail + per_proc((n - k0) * bs, gr), m.M2());
       detail::charge_local_gemm(h, edge, edge, bs, b1);
       detail::charge_l3_write(h, trail, m.M2());
     });
@@ -81,7 +80,7 @@ void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
 
 void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
                      std::size_t s) {
-  const std::size_t sq = validate_lu(m, A, b);
+  const std::size_t gr = validate_lu(m, A, b);
   if (s == 0) throw std::invalid_argument("lu: s must be positive");
   const std::size_t n = A.rows();
   const std::size_t P = m.nprocs();
@@ -120,18 +119,18 @@ void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
       batched += (n - k0) * kb;
       prior_words += (n - k0) * kb;
       if (++in_batch == s) {
-        m.bcast(all, per_proc(batched, sq));
+        m.bcast(all, per_proc(batched, gr));
         batched = 0;
         in_batch = 0;
       }
     }
-    if (in_batch > 0) m.bcast(all, per_proc(batched, sq));
+    if (in_batch > 0) m.bcast(all, per_proc(batched, gr));
 
     // Local traffic: prior panels and the current column are *read*
     // repeatedly, but the finished column is written to NVM exactly
     // once -- the WA schedule's defining property.
     const std::size_t col = per_proc((n - j0) * w, P);
-    const std::size_t height = per_proc(n - j0, sq);
+    const std::size_t height = per_proc(n - j0, gr);
     m.run_local_all([&](memsim::Hierarchy& h) {
       detail::charge_l3_read(h, col + per_proc(prior_words, P), m.M2());
       detail::charge_local_gemm(h, height, w, j0, b1);

@@ -16,11 +16,14 @@
 //                     NVM on every step.
 //
 // Both overwrite A with L (unit lower) and U and must agree with
-// linalg::lu_nopivot_unblocked.  @p b is the panel width; P must be a
-// perfect square.
+// linalg::lu_nopivot_unblocked.  @p b is the panel width.  Any P is
+// accepted: the processors are arranged on a ProcessGrid
+// (dist/grid.hpp) and per-processor shares use the grid's row count
+// in place of the old perfect-square sqrt(P) requirement.
 
 #include <cstddef>
 
+#include "dist/grid.hpp"
 #include "dist/machine.hpp"
 #include "linalg/matrix.hpp"
 

@@ -13,18 +13,32 @@
 //   l2_write  words moving L1 -> L2
 //
 // Collectives use a binomial-tree cost model: a broadcast among g
-// processors charges ceil(log2 g) rounds to every participant.  The
+// processors charges ceil(log2 g) rounds to every participant; a
+// reduction additionally charges each round's combine as L1 -> L2
+// traffic (the received partial is merged and written back), so
+// reduce and bcast are distinguishable in the counters.  The
 // machine's cost is the maximum over processors of the alpha-beta
 // time of its counters (the critical path), mirroring the per-channel
 // max-cost accounting the paper uses for Tables 1 and 2.
+//
+// *How* local phases execute is delegated to the execution layer
+// (dist/backend.hpp): the default SerialSimBackend reproduces the
+// original serial simulation; a ThreadedBackend runs per-rank phases
+// on a thread pool.  Wall-clock spent inside local phases is
+// accumulated so modelled alpha-beta cost and measured time can be
+// printed side by side.
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "dist/backend.hpp"
 #include "memsim/hierarchy.hpp"
 
 namespace wa::dist {
@@ -80,8 +94,12 @@ struct HwParams {
 class Machine {
  public:
   Machine(std::size_t P, std::size_t M1, std::size_t M2, std::size_t M3,
-          HwParams hw = HwParams{})
-      : P_(P), M1_(M1), M2_(M2), M3_(M3), hw_(hw), procs_(P) {
+          HwParams hw = HwParams{},
+          std::unique_ptr<Backend> backend = nullptr)
+      : P_(P), M1_(M1), M2_(M2), M3_(M3), hw_(hw), procs_(P),
+        backend_(backend != nullptr
+                     ? std::move(backend)
+                     : std::make_unique<SerialSimBackend>()) {
     if (P == 0) throw std::invalid_argument("Machine: P must be positive");
     if (M1 == 0 || M1 >= M2 || M2 >= M3) {
       throw std::invalid_argument(
@@ -94,6 +112,15 @@ class Machine {
   std::size_t M2() const { return M2_; }
   std::size_t M3() const { return M3_; }
   const HwParams& hw() const { return hw_; }
+
+  Backend& backend() { return *backend_; }
+  const Backend& backend() const { return *backend_; }
+  void set_backend(std::unique_ptr<Backend> backend) {
+    if (backend == nullptr) {
+      throw std::invalid_argument("Machine: backend must not be null");
+    }
+    backend_ = std::move(backend);
+  }
 
   const ProcTraffic& proc(std::size_t p) const { return procs_.at(p); }
 
@@ -127,9 +154,17 @@ class Machine {
     for (std::size_t p : group) procs_[p].nw.add(rounds * words, rounds);
   }
 
-  /// Binomial-tree reduction: same cost shape as a broadcast.
+  /// Binomial-tree reduction: the network cost of a broadcast, plus
+  /// each round's combine -- merging the received partial into the
+  /// local one writes @p words from L1 back to L2 per round.
   void reduce(const std::vector<std::size_t>& group, std::size_t words) {
-    bcast(group, words);
+    const std::uint64_t rounds = bcast_rounds(group.size());
+    if (rounds == 0) return;
+    for (std::size_t p : group) check_proc(p);  // all-or-nothing charging
+    for (std::size_t p : group) {
+      procs_[p].nw.add(rounds * words, rounds);
+      procs_[p].l2_write.add(rounds * words, rounds);
+    }
   }
 
   /// Run a local phase on processor @p p: @p fn receives a fresh
@@ -139,20 +174,45 @@ class Machine {
   template <class Fn>
   void run_local(std::size_t p, Fn&& fn) {
     check_proc(p);
-    memsim::Hierarchy h({M1_, M2_, M3_});
-    std::forward<Fn>(fn)(h);
-    absorb(procs_[p], h);
+    const Timer t(wall_seconds_);
+    backend_->run({p}, capacities(),
+                  [&fn](std::size_t, memsim::Hierarchy& h) { fn(h); },
+                  absorb_sink());
   }
 
-  /// Run one identical local phase on *every* processor: the
-  /// hierarchy is simulated once and its traffic replicated, so a
+  /// Run one identical charging-only phase on *every* processor; the
+  /// backend may simulate the hierarchy once and replicate it, so a
   /// P-way symmetric phase costs O(1) simulations instead of O(P).
   template <class Fn>
   void run_local_all(Fn&& fn) {
-    memsim::Hierarchy h({M1_, M2_, M3_});
-    std::forward<Fn>(fn)(h);
-    for (auto& t : procs_) absorb(t, h);
+    const Timer t(wall_seconds_);
+    backend_->run_replicated(all_ranks(), capacities(),
+                             [&fn](memsim::Hierarchy& h) { fn(h); },
+                             absorb_sink());
   }
+
+  /// Run a per-rank local phase -- numerics plus charging -- on every
+  /// processor: @p fn receives (rank, Hierarchy&).  The backend
+  /// decides the execution strategy (serial simulation or a thread
+  /// pool); counters are identical either way.
+  template <class Fn>
+  void run_local_each(Fn&& fn) {
+    run_local_on(all_ranks(), std::forward<Fn>(fn));
+  }
+
+  /// Same as run_local_each, restricted to @p ranks (e.g. one grid
+  /// layer), so a sparse phase does not pay per-rank setup for idle
+  /// processors.
+  template <class Fn>
+  void run_local_on(const std::vector<std::size_t>& ranks, Fn&& fn) {
+    for (std::size_t p : ranks) check_proc(p);
+    const Timer t(wall_seconds_);
+    backend_->run(ranks, capacities(), Backend::LocalFn(fn), absorb_sink());
+  }
+
+  /// Wall-clock seconds spent inside local phases so far (numerics +
+  /// counter simulation), for comparison against the modelled cost().
+  double local_wall_seconds() const { return wall_seconds_; }
 
   /// Alpha-beta time of one processor's counters.
   double proc_cost(std::size_t p) const {
@@ -193,11 +253,41 @@ class Machine {
   }
 
  private:
+  /// Accumulates elapsed wall-clock into @p out on destruction.
+  class Timer {
+   public:
+    explicit Timer(double& out)
+        : out_(out), start_(std::chrono::steady_clock::now()) {}
+    ~Timer() {
+      out_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start_)
+                  .count();
+    }
+
+   private:
+    double& out_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
   static void absorb(ProcTraffic& t, const memsim::Hierarchy& h) {
     t.l2_read.add(h.loads_words(0), h.loads_messages(0));
     t.l2_write.add(h.stores_words(0), h.stores_messages(0));
     t.l3_read.add(h.loads_words(1), h.loads_messages(1));
     t.l3_write.add(h.stores_words(1), h.stores_messages(1));
+  }
+
+  Backend::Sink absorb_sink() {
+    return [this](std::size_t p, const memsim::Hierarchy& h) {
+      absorb(procs_[p], h);
+    };
+  }
+
+  std::vector<std::size_t> capacities() const { return {M1_, M2_, M3_}; }
+
+  std::vector<std::size_t> all_ranks() const {
+    std::vector<std::size_t> r(P_);
+    std::iota(r.begin(), r.end(), std::size_t{0});
+    return r;
   }
 
   void check_proc(std::size_t p) const {
@@ -207,6 +297,8 @@ class Machine {
   std::size_t P_, M1_, M2_, M3_;
   HwParams hw_;
   std::vector<ProcTraffic> procs_;
+  std::unique_ptr<Backend> backend_;
+  double wall_seconds_ = 0.0;
 };
 
 }  // namespace wa::dist

@@ -9,64 +9,45 @@
 namespace wa::dist {
 namespace {
 
-struct Grid25d {
-  std::size_t s;      // layer grid edge: s*s*c == P
-  std::size_t c;      // layers
-  std::size_t nb;     // block edge: nb*s == n
-  std::size_t steps;  // SUMMA steps per layer: s/c
-};
-
-Grid25d validate_25d(const Machine& m, linalg::ConstMatrixView<double> C,
-                     linalg::ConstMatrixView<double> A,
-                     linalg::ConstMatrixView<double> B,
-                     const Mm25dOptions& opt) {
+std::size_t validate_25d(const Machine& m, const ProcessGrid3D& g,
+                         linalg::ConstMatrixView<double> C,
+                         linalg::ConstMatrixView<double> A,
+                         linalg::ConstMatrixView<double> B) {
   const std::size_t n = detail::require_square_equal(C, A, B, "mm_25d");
-  const std::size_t P = m.nprocs();
-  if (opt.c == 0 || P % opt.c != 0) {
-    throw std::invalid_argument("mm_25d: c must divide P");
+  if (n == 0) {
+    throw std::invalid_argument("mm_25d: matrix must be nonempty");
   }
-  const std::size_t s = detail::exact_sqrt(P / opt.c);
-  if (s == 0) {
-    throw std::invalid_argument("mm_25d: P/c must be a perfect square");
+  if (g.size() != m.nprocs()) {
+    throw std::invalid_argument("mm_25d: grid size must equal the machine's P");
   }
-  if (s % opt.c != 0) {
-    throw std::invalid_argument("mm_25d: c must divide sqrt(P/c)");
-  }
-  if (n == 0 || n % s != 0) {
-    throw std::invalid_argument("mm_25d: sqrt(P/c) must divide n");
-  }
-  return Grid25d{s, opt.c, n / s, s / opt.c};
-}
-
-std::size_t proc_id(const Grid25d& g, std::size_t i, std::size_t j,
-                    std::size_t l) {
-  return l * g.s * g.s + i * g.s + j;
+  return n;
 }
 
 }  // namespace
 
-void mm_25d(Machine& m, linalg::MatrixView<double> C,
+void mm_25d(Machine& m, const ProcessGrid3D& g, linalg::MatrixView<double> C,
             linalg::ConstMatrixView<double> A,
             linalg::ConstMatrixView<double> B, const Mm25dOptions& opt) {
-  const Grid25d g = validate_25d(m, C, A, B, opt);
-  const std::size_t blk = g.nb * g.nb;
-
-  // Numerics: every (i, j, k) block triple exactly once; layer l of
-  // the virtual machine covers k in [l*steps, (l+1)*steps).
-  detail::block_multiply(C, A, B, g.s, g.nb);
+  const std::size_t n = validate_25d(m, g, C, A, B);
+  const ProcessGrid& lg = g.layer();
+  const std::size_t c = g.layers();
+  const std::vector<BlockRange> panels = lg.k_panels(n);
 
   // Replication and reduction along the layer dimension, optionally
   // chunked: the same words in more, smaller broadcasts.  Ceiling
   // division so a chunk_c2 that does not divide c still broadcasts in
   // pieces no coarser than chunk_c2 layer units.
-  const std::size_t chunk = std::min(opt.chunk_c2 == 0 ? g.c : opt.chunk_c2,
-                                     g.c);
-  const auto pieces = detail::split_words(blk, (g.c + chunk - 1) / chunk);
-  if (g.c > 1) {
-    for (std::size_t i = 0; i < g.s; ++i) {
-      for (std::size_t j = 0; j < g.s; ++j) {
-        std::vector<std::size_t> fiber(g.c);
-        for (std::size_t l = 0; l < g.c; ++l) fiber[l] = proc_id(g, i, j, l);
+  if (c > 1) {
+    const std::size_t chunk =
+        std::min(opt.chunk_c2 == 0 ? c : opt.chunk_c2, c);
+    for (std::size_t i = 0; i < lg.rows(); ++i) {
+      for (std::size_t j = 0; j < lg.cols(); ++j) {
+        const std::size_t blk =
+            lg.row_block(n, i).sz * lg.col_block(n, j).sz;
+        if (blk == 0) continue;
+        const auto fiber = g.fiber_group(i, j);
+        const auto pieces =
+            detail::split_words(blk, (c + chunk - 1) / chunk);
         for (std::size_t w : pieces) {
           m.bcast(fiber, w);  // replicate A(i,j)
           m.bcast(fiber, w);  // replicate B(i,j)
@@ -76,38 +57,69 @@ void mm_25d(Machine& m, linalg::MatrixView<double> C,
     }
   }
 
-  // SUMMA panel broadcasts within each layer.
-  for (std::size_t l = 0; l < g.c; ++l) {
-    for (std::size_t step = 0; step < g.steps; ++step) {
-      for (std::size_t i = 0; i < g.s; ++i) {
-        std::vector<std::size_t> row(g.s);
-        for (std::size_t j = 0; j < g.s; ++j) row[j] = proc_id(g, i, j, l);
-        m.bcast(row, blk);
+  // SUMMA panel broadcasts within each layer, over the layer's
+  // balanced share of the step sequence.
+  for (std::size_t l = 0; l < c; ++l) {
+    const BlockRange steps = g.layer_steps(panels.size(), l);
+    for (std::size_t t = steps.off; t < steps.off + steps.sz; ++t) {
+      const std::size_t w = panels[t].sz;
+      for (std::size_t i = 0; i < lg.rows(); ++i) {
+        const std::size_t words = lg.row_block(n, i).sz * w;
+        if (words > 0) m.bcast(g.row_group(i, l), words);
       }
-      for (std::size_t j = 0; j < g.s; ++j) {
-        std::vector<std::size_t> col(g.s);
-        for (std::size_t i = 0; i < g.s; ++i) col[i] = proc_id(g, i, j, l);
-        m.bcast(col, blk);
+      for (std::size_t j = 0; j < lg.cols(); ++j) {
+        const std::size_t words = w * lg.col_block(n, j).sz;
+        if (words > 0) m.bcast(g.col_group(j, l), words);
       }
     }
   }
 
-  // Local traffic, identical on every processor.
+  // Local phases: every rank computes its layer's partial of its own
+  // C block and charges its local traffic.  Layer 0 accumulates into
+  // C directly; layers >= 1 write disjoint blocks of per-layer
+  // scratch matrices which are reduced into C afterwards in layer
+  // order, so the result is deterministic under any backend.
+  std::vector<linalg::Matrix<double>> partial(
+      c > 1 ? c - 1 : 0, linalg::Matrix<double>(n, n, 0.0));
+
   const std::size_t b1 = detail::l1_tile(m.M1());
-  const std::size_t layer_rounds = Machine::bcast_rounds(g.c);
-  const std::size_t grid_rounds = Machine::bcast_rounds(g.s);
-  m.run_local_all([&](memsim::Hierarchy& h) {
+  const std::size_t layer_rounds = Machine::bcast_rounds(c);
+  const std::size_t row_rounds = Machine::bcast_rounds(lg.cols());
+  const std::size_t col_rounds = Machine::bcast_rounds(lg.rows());
+  m.run_local_each([&](std::size_t p, memsim::Hierarchy& h) {
+    const std::size_t l = g.layer_of(p);
+    const std::size_t lr = g.layer_rank_of(p);
+    const BlockRange rb = lg.row_block(n, lg.row_of(lr));
+    const BlockRange cb = lg.col_block(n, lg.col_of(lr));
+    const std::size_t blk = rb.sz * cb.sz;
+    const BlockRange steps = g.layer_steps(panels.size(), l);
+
+    if (blk > 0) {
+      linalg::MatrixView<double> out =
+          l == 0 ? C.block(rb.off, cb.off, rb.sz, cb.sz)
+                 : partial[l - 1].block(rb.off, cb.off, rb.sz, cb.sz);
+      for (std::size_t t = steps.off; t < steps.off + steps.sz; ++t) {
+        if (panels[t].sz == 0) continue;
+        linalg::gemm_acc(out,
+                         A.block(rb.off, panels[t].off, rb.sz, panels[t].sz),
+                         B.block(panels[t].off, cb.off, panels[t].sz, cb.sz));
+      }
+    }
+
     if (opt.data_in_l3) {
       // Model 2.2: nothing fits in L2, so every word received over
       // the network is staged through NVM and re-read for compute
       // (this is why Theorem 4 bites: L3 writes ~ W2 >> W1).
-      const std::size_t received =
-          3 * layer_rounds * blk + 2 * g.steps * grid_rounds * blk;
+      std::size_t received = 3 * layer_rounds * blk;
+      for (std::size_t t = steps.off; t < steps.off + steps.sz; ++t) {
+        received += row_rounds * rb.sz * panels[t].sz +
+                    col_rounds * panels[t].sz * cb.sz;
+      }
       detail::charge_l3_read(h, 2 * blk, m.M2());  // own A/B blocks
       detail::charge_l3_write(h, received, m.M2());
       detail::charge_l3_read(h, received, m.M2());
-      for (std::size_t step = 0; step < g.steps; ++step) {
-        detail::charge_local_gemm(h, g.nb, g.nb, g.nb, b1);
+      for (std::size_t t = steps.off; t < steps.off + steps.sz; ++t) {
+        detail::charge_local_gemm(h, rb.sz, cb.sz, panels[t].sz, b1);
       }
       detail::charge_l3_write(h, blk, m.M2());  // the C output
     } else {
@@ -118,13 +130,45 @@ void mm_25d(Machine& m, linalg::MatrixView<double> C,
         detail::charge_l3_write(h, 3 * blk, m.M2());
         detail::charge_l3_read(h, 3 * blk, m.M2());
       }
-      for (std::size_t step = 0; step < g.steps; ++step) {
+      for (std::size_t t = steps.off; t < steps.off + steps.sz; ++t) {
         // Received panels pass through L2 (chunked when larger).
-        detail::charge_l2_transit(h, 2 * blk, m.M2(), 0);
-        detail::charge_local_gemm(h, g.nb, g.nb, g.nb, b1);
+        detail::charge_l2_transit(
+            h, rb.sz * panels[t].sz + panels[t].sz * cb.sz, m.M2(), 0);
+        detail::charge_local_gemm(h, rb.sz, cb.sz, panels[t].sz, b1);
       }
     }
   });
+
+  // The fiber reduction's numerics: each layer-0 rank sums the layer
+  // partials into its own C block, in layer order (fixed order =>
+  // deterministic floating point).  A second backend pass over just
+  // the layer-0 ranks, so the reduction is parallelized and counted
+  // in local_wall_seconds like every other local phase; it charges
+  // nothing (the reduce() calls above already modelled its traffic).
+  if (c > 1) {
+    std::vector<std::size_t> layer0(lg.size());
+    for (std::size_t lr = 0; lr < lg.size(); ++lr) layer0[lr] = lr;
+    m.run_local_on(layer0, [&](std::size_t p, memsim::Hierarchy&) {
+      const BlockRange rb = lg.row_block(n, lg.row_of(p));
+      const BlockRange cb = lg.col_block(n, lg.col_of(p));
+      for (const auto& part : partial) {
+        for (std::size_t i = rb.off; i < rb.off + rb.sz; ++i) {
+          for (std::size_t j = cb.off; j < cb.off + cb.sz; ++j) {
+            C(i, j) += part(i, j);
+          }
+        }
+      }
+    });
+  }
+}
+
+void mm_25d(Machine& m, linalg::MatrixView<double> C,
+            linalg::ConstMatrixView<double> A,
+            linalg::ConstMatrixView<double> B, const Mm25dOptions& opt) {
+  if (opt.c == 0 || m.nprocs() % opt.c != 0) {
+    throw std::invalid_argument("mm_25d: c must divide P");
+  }
+  mm_25d(m, ProcessGrid3D(m.nprocs(), opt.c), C, A, B, opt);
 }
 
 }  // namespace wa::dist

@@ -1,9 +1,9 @@
 #pragma once
 // wa::dist -- 2.5D matrix multiplication (Models 2.1/2.2 of Section
-// 7): P = s*s*c processors arranged as c replicated layers of an s x s
-// grid.  Replicating the inputs c-fold cuts the per-processor network
-// volume by ~sqrt(c); the options choose where the extra copies live
-// and whether the data fits in L2 at all:
+// 7): P = pr*pc*c processors arranged as c replicated layers of a
+// pr x pc ProcessGrid.  Replicating the inputs c-fold cuts the
+// per-processor network volume by ~sqrt(c); the options choose where
+// the extra copies live and whether the data fits in L2 at all:
 //
 //   c          replication factor (1 = plain SUMMA geometry)
 //   use_l3     stage the replicas through L3 (NVM) instead of DRAM --
@@ -18,12 +18,18 @@
 //              more messages).  A value not dividing c rounds to
 //              ceil(c / chunk_c2) pieces.  0 means whole.
 //
-// Throws std::invalid_argument unless c divides P, P/c is a perfect
-// square s*s, c divides s (layers split the s SUMMA steps evenly),
-// and s divides n.
+// The geometry is a ProcessGrid3D (dist/grid.hpp): c must divide P,
+// but P/c no longer has to be a perfect square (it is factored into
+// the nearest pr x pc rectangle), c no longer has to divide the grid
+// edge (layers take balanced shares of the SUMMA steps), and the grid
+// no longer has to divide n (padded edge blocks).  Throws
+// std::invalid_argument only when c does not divide P, the matrices
+// are not square/equal/nonempty, or an explicit grid mismatches the
+// machine's P.
 
 #include <cstddef>
 
+#include "dist/grid.hpp"
 #include "dist/machine.hpp"
 #include "linalg/matrix.hpp"
 
@@ -36,6 +42,14 @@ struct Mm25dOptions {
   std::size_t chunk_c2 = 0;
 };
 
+/// Run on an explicit topology; @p opt.c is ignored in favour of
+/// @p g.layers().
+void mm_25d(Machine& m, const ProcessGrid3D& g, linalg::MatrixView<double> C,
+            linalg::ConstMatrixView<double> A,
+            linalg::ConstMatrixView<double> B,
+            const Mm25dOptions& opt = Mm25dOptions{});
+
+/// Convenience overload: topology = ProcessGrid3D(m.nprocs(), opt.c).
 void mm_25d(Machine& m, linalg::MatrixView<double> C,
             linalg::ConstMatrixView<double> A,
             linalg::ConstMatrixView<double> B,

@@ -1,0 +1,90 @@
+#pragma once
+// wa::dist::Planner -- the Section 7 deployment planner as an object.
+//
+// The Model 2.1 speedup ratio and the Model 2.2 dominant-beta-cost
+// formulas (dist/cost_model.hpp) are free functions; the Planner
+// binds them to a machine description (HwParams) and a problem shape
+// and answers the questions an operator actually asks:
+//
+//   * Model 2.1 -- data fits in DRAM: is staging c3 > c2 input
+//     replicas through NVM predicted to beat keeping c2 replicas in
+//     DRAM?  (replication_ratio / should_replicate)
+//   * Model 2.2 -- data only fits in NVM: run the network-optimal
+//     2.5DMML3ooL2 or the NVM-write-optimal SUMMAL3ooL2?  (matmul)
+//     LL-LUNP or RL-LUNP for LU?  (lu)
+//
+// Every verdict carries both predicted costs, so callers can print
+// "how close was it" rather than just the winner.
+
+#include <cstddef>
+#include <string>
+
+#include "dist/cost_model.hpp"
+
+namespace wa::dist {
+
+/// Problem shape the planner reasons about: matrix edge, processor
+/// count, and per-processor DRAM capacity (the Model 2.2 block size).
+struct PlannerProblem {
+  std::size_t n = 1 << 15;
+  std::size_t P = 1 << 12;
+  std::size_t M2 = 1 << 22;
+};
+
+/// One planning verdict: the predicted-best algorithm plus both
+/// modelled execution times, in seconds.
+struct PlannerChoice {
+  std::string algorithm;       ///< predicted winner
+  double predicted_seconds;    ///< its modelled time
+  double alternative_seconds;  ///< the loser's modelled time
+
+  /// Predicted gain from following the advice (>= 1).
+  double speedup() const { return alternative_seconds / predicted_seconds; }
+};
+
+class Planner {
+ public:
+  Planner(HwParams hw, PlannerProblem problem)
+      : hw_(hw), problem_(problem) {}
+
+  const HwParams& hw() const { return hw_; }
+  const PlannerProblem& problem() const { return problem_; }
+
+  /// Model 2.1: predicted speedup of 2.5DMML3 with c3 NVM-staged
+  /// replicas over 2.5DMML2 with c2 DRAM replicas (the paper's
+  /// sqrt(c3/c2) * betaNW / (betaNW + 1.5 beta23 + beta32) ratio).
+  double replication_ratio(std::size_t c2, std::size_t c3) const {
+    return model21_speedup_ratio(c2, c3, hw_);
+  }
+
+  /// Model 2.1 verdict: ratio > 1 means replicate through NVM.
+  bool should_replicate(std::size_t c2, std::size_t c3) const {
+    return replication_ratio(c2, c3) > 1.0;
+  }
+
+  /// Model 2.2 matmul: network-optimal 2.5DMML3ooL2 (with @p c3
+  /// replicas) vs NVM-write-optimal SUMMAL3ooL2 (Eqs. (2)/(3)).
+  PlannerChoice matmul(std::size_t c3) const {
+    const double t25 =
+        dom_beta_cost_25dmml3ool2(problem_.n, problem_.P, problem_.M2, c3,
+                                  hw_);
+    const double tsu =
+        dom_beta_cost_summal3ool2(problem_.n, problem_.P, problem_.M2, hw_);
+    return t25 < tsu ? PlannerChoice{"2.5DMML3ooL2", t25, tsu}
+                     : PlannerChoice{"SUMMAL3ooL2", tsu, t25};
+  }
+
+  /// Model 2.2 LU: write-avoiding LL-LUNP vs network-optimal RL-LUNP.
+  PlannerChoice lu() const {
+    const double ll = lu_ll_cost(problem_.n, problem_.P, problem_.M2).time(hw_);
+    const double rl = lu_rl_cost(problem_.n, problem_.P, problem_.M2).time(hw_);
+    return ll < rl ? PlannerChoice{"LL-LUNP", ll, rl}
+                   : PlannerChoice{"RL-LUNP", rl, ll};
+  }
+
+ private:
+  HwParams hw_;
+  PlannerProblem problem_;
+};
+
+}  // namespace wa::dist

@@ -9,112 +9,143 @@
 namespace wa::dist {
 namespace {
 
-struct Grid2d {
-  std::size_t s;   // grid edge: s*s == P
-  std::size_t nb;  // block edge: nb*s == n
+struct Layout {
+  std::size_t n;                  // matrix edge
+  std::vector<BlockRange> panels; // SUMMA k-panels (grid-refined)
 };
 
-Grid2d validate_2d(const Machine& m, linalg::ConstMatrixView<double> C,
+Layout validate_2d(const Machine& m, const ProcessGrid& g,
+                   linalg::ConstMatrixView<double> C,
                    linalg::ConstMatrixView<double> A,
-                   linalg::ConstMatrixView<double> B) {
-  const std::size_t n = detail::require_square_equal(C, A, B, "summa");
-  const std::size_t s = detail::exact_sqrt(m.nprocs());
-  if (s == 0) {
-    throw std::invalid_argument("summa: P must be a perfect square");
+                   linalg::ConstMatrixView<double> B, const char* who) {
+  const std::size_t n = detail::require_square_equal(C, A, B, who);
+  if (n == 0) {
+    throw std::invalid_argument(std::string(who) + ": matrix must be nonempty");
   }
-  if (n == 0 || n % s != 0) {
-    throw std::invalid_argument("summa: sqrt(P) must divide n");
+  if (g.size() != m.nprocs()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": grid size must equal the machine's P");
   }
-  return Grid2d{s, n / s};
-}
-
-std::vector<std::size_t> row_group(std::size_t i, std::size_t s) {
-  std::vector<std::size_t> g(s);
-  for (std::size_t j = 0; j < s; ++j) g[j] = i * s + j;
-  return g;
-}
-
-std::vector<std::size_t> col_group(std::size_t j, std::size_t s) {
-  std::vector<std::size_t> g(s);
-  for (std::size_t i = 0; i < s; ++i) g[i] = i * s + j;
-  return g;
+  return Layout{n, g.k_panels(n)};
 }
 
 // Panel broadcasts of one SUMMA step: A(:,k) along rows, B(k,:) along
-// columns; every processor participates in exactly two of them.
-void charge_step_bcasts(Machine& m, const Grid2d& g, std::size_t words) {
-  for (std::size_t i = 0; i < g.s; ++i) m.bcast(row_group(i, g.s), words);
-  for (std::size_t j = 0; j < g.s; ++j) m.bcast(col_group(j, g.s), words);
+// columns; every processor participates in exactly two of them.  On a
+// padded grid the panel words vary with the owner's edge-block sizes.
+void charge_step_bcasts(Machine& m, const ProcessGrid& g, std::size_t n,
+                        std::size_t panel_w) {
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    const std::size_t words = g.row_block(n, i).sz * panel_w;
+    if (words > 0) m.bcast(g.row_group(i), words);
+  }
+  for (std::size_t j = 0; j < g.cols(); ++j) {
+    const std::size_t words = panel_w * g.col_block(n, j).sz;
+    if (words > 0) m.bcast(g.col_group(j), words);
+  }
+}
+
+// C(own block) += A(own rows, panel) * B(panel, own cols): the one
+// panel-step of numerics rank p contributes.
+void own_block_gemm(const ProcessGrid& g, std::size_t p, std::size_t n,
+                    const BlockRange& panel, linalg::MatrixView<double> C,
+                    linalg::ConstMatrixView<double> A,
+                    linalg::ConstMatrixView<double> B) {
+  const BlockRange rb = g.row_block(n, g.row_of(p));
+  const BlockRange cb = g.col_block(n, g.col_of(p));
+  if (rb.sz == 0 || cb.sz == 0 || panel.sz == 0) return;
+  linalg::gemm_acc(C.block(rb.off, cb.off, rb.sz, cb.sz),
+                   A.block(rb.off, panel.off, rb.sz, panel.sz),
+                   B.block(panel.off, cb.off, panel.sz, cb.sz));
 }
 
 }  // namespace
 
-void summa_2d(Machine& m, linalg::MatrixView<double> C,
+void summa_2d(Machine& m, const ProcessGrid& g, linalg::MatrixView<double> C,
               linalg::ConstMatrixView<double> A,
               linalg::ConstMatrixView<double> B) {
-  const Grid2d g = validate_2d(m, C, A, B);
-  detail::block_multiply(C, A, B, g.s, g.nb);
+  const Layout L = validate_2d(m, g, C, A, B, "summa");
 
-  const std::size_t blk = g.nb * g.nb;
-  for (std::size_t k = 0; k < g.s; ++k) charge_step_bcasts(m, g, blk);
+  for (const BlockRange& panel : L.panels) {
+    charge_step_bcasts(m, g, L.n, panel.sz);
+  }
 
   const std::size_t b1 = detail::l1_tile(m.M1());
-  m.run_local_all([&](memsim::Hierarchy& h) {
-    for (std::size_t k = 0; k < g.s; ++k) {
+  m.run_local_each([&](std::size_t p, memsim::Hierarchy& h) {
+    const BlockRange rb = g.row_block(L.n, g.row_of(p));
+    const BlockRange cb = g.col_block(L.n, g.col_of(p));
+    for (const BlockRange& panel : L.panels) {
+      own_block_gemm(g, p, L.n, panel, C, A, B);
       // Received panels pass through L2 (chunked if they are larger
       // than the level).
-      detail::charge_l2_transit(h, 2 * blk, m.M2(), 0);
-      detail::charge_local_gemm(h, g.nb, g.nb, g.nb, b1);
+      detail::charge_l2_transit(h, rb.sz * panel.sz + panel.sz * cb.sz,
+                                m.M2(), 0);
+      detail::charge_local_gemm(h, rb.sz, cb.sz, panel.sz, b1);
     }
   });
 }
 
-void summa_2d_hoarding(Machine& m, linalg::MatrixView<double> C,
+void summa_2d_hoarding(Machine& m, const ProcessGrid& g,
+                       linalg::MatrixView<double> C,
                        linalg::ConstMatrixView<double> A,
                        linalg::ConstMatrixView<double> B) {
-  const Grid2d g = validate_2d(m, C, A, B);
-  if (2 * g.nb * C.rows() > m.M2()) {
+  const Layout L = validate_2d(m, g, C, A, B, "summa_2d_hoarding");
+  const std::size_t max_panels =
+      (g.row_block(L.n, 0).sz + g.col_block(L.n, 0).sz) * L.n;
+  if (max_panels > m.M2()) {
     // Hoarding is exactly the variant that *requires* the extra L2
     // memory; refuse upfront instead of failing mid-charge.
     throw std::invalid_argument(
-        "summa_2d_hoarding: hoarded panels (2 n^2/sqrt(P) words) must fit "
+        "summa_2d_hoarding: the hoarded row+column panels "
+        "((n/pr + n/pc) * n words for the largest grid blocks) must fit "
         "in L2");
   }
-  detail::block_multiply(C, A, B, g.s, g.nb);
 
-  const std::size_t blk = g.nb * g.nb;
-  for (std::size_t k = 0; k < g.s; ++k) charge_step_bcasts(m, g, blk);
+  for (const BlockRange& panel : L.panels) {
+    charge_step_bcasts(m, g, L.n, panel.sz);
+  }
 
-  const std::size_t n = C.rows();
   const std::size_t b1 = detail::l1_tile(m.M1());
-  m.run_local_all([&](memsim::Hierarchy& h) {
-    // Hoard the full A row panel and B column panel (2 nb n words)
-    // in L2 -- alloc enforces that the extra memory really exists --
-    // then multiply once: each C tile is written back exactly once.
-    h.alloc(1, 2 * g.nb * n);
-    detail::charge_local_gemm(h, g.nb, g.nb, n, b1);
-    h.discard(1, 2 * g.nb * n);
+  m.run_local_each([&](std::size_t p, memsim::Hierarchy& h) {
+    const BlockRange rb = g.row_block(L.n, g.row_of(p));
+    const BlockRange cb = g.col_block(L.n, g.col_of(p));
+    if (rb.sz > 0 && cb.sz > 0) {
+      linalg::gemm_acc(C.block(rb.off, cb.off, rb.sz, cb.sz),
+                       A.block(rb.off, 0, rb.sz, L.n),
+                       B.block(0, cb.off, L.n, cb.sz));
+    }
+    // Hoard the full A row panel and B column panel in L2 -- alloc
+    // enforces that the extra memory really exists -- then multiply
+    // once: each C tile is written back exactly once.
+    const std::size_t hoard = (rb.sz + cb.sz) * L.n;
+    h.alloc(1, hoard);
+    detail::charge_local_gemm(h, rb.sz, cb.sz, L.n, b1);
+    h.discard(1, hoard);
   });
 }
 
-void summa_l3_ool2(Machine& m, linalg::MatrixView<double> C,
+void summa_l3_ool2(Machine& m, const ProcessGrid& g,
+                   linalg::MatrixView<double> C,
                    linalg::ConstMatrixView<double> A,
                    linalg::ConstMatrixView<double> B) {
-  const Grid2d g = validate_2d(m, C, A, B);
-  const std::size_t blk = g.nb * g.nb;
-  if (blk + 2 > m.M2()) {
+  const Layout L = validate_2d(m, g, C, A, B, "summa_l3_ool2");
+  if (g.max_block_words(L.n) + 2 > m.M2()) {
     // The W1 write bound hinges on the local C block staying resident
     // in L2 until it is finished; refuse upfront (before any numerics
     // or charging) rather than silently cheat.
     throw std::invalid_argument(
-        "summa_l3_ool2: the local C block (n/sqrt(P))^2 must fit in L2");
+        "summa_l3_ool2: the largest local C block (n/pr x n/pc words) "
+        "must fit in L2");
   }
-  detail::block_multiply(C, A, B, g.s, g.nb);
 
-  for (std::size_t k = 0; k < g.s; ++k) charge_step_bcasts(m, g, blk);
+  for (const BlockRange& panel : L.panels) {
+    charge_step_bcasts(m, g, L.n, panel.sz);
+  }
 
   const std::size_t b1 = detail::l1_tile(m.M1());
-  m.run_local_all([&](memsim::Hierarchy& h) {
+  m.run_local_each([&](std::size_t p, memsim::Hierarchy& h) {
+    const BlockRange rb = g.row_block(L.n, g.row_of(p));
+    const BlockRange cb = g.col_block(L.n, g.col_of(p));
+    const std::size_t blk = rb.sz * cb.sz;
     // C block accumulates in L2 across every step and is written to
     // NVM exactly once at the end: W1-level L3 writes.
     h.alloc(1, blk);
@@ -122,14 +153,34 @@ void summa_l3_ool2(Machine& m, linalg::MatrixView<double> C,
     // from L3 exactly once, in the step where it broadcasts it (the
     // step index varies per processor; the totals do not).
     detail::charge_l3_read(h, 2 * blk, m.M2(), blk);
-    for (std::size_t k = 0; k < g.s; ++k) {
+    for (const BlockRange& panel : L.panels) {
+      own_block_gemm(g, p, L.n, panel, C, A, B);
       // Received panels stream through the L2 space left over next
       // to the resident C block.
-      detail::charge_l2_transit(h, 2 * blk, m.M2(), blk);
-      detail::charge_local_gemm(h, g.nb, g.nb, g.nb, b1);
+      detail::charge_l2_transit(h, rb.sz * panel.sz + panel.sz * cb.sz,
+                                m.M2(), blk);
+      detail::charge_local_gemm(h, rb.sz, cb.sz, panel.sz, b1);
     }
     h.store(1, blk);  // the only NVM write: the finished C block
   });
+}
+
+void summa_2d(Machine& m, linalg::MatrixView<double> C,
+              linalg::ConstMatrixView<double> A,
+              linalg::ConstMatrixView<double> B) {
+  summa_2d(m, ProcessGrid(m.nprocs()), C, A, B);
+}
+
+void summa_2d_hoarding(Machine& m, linalg::MatrixView<double> C,
+                       linalg::ConstMatrixView<double> A,
+                       linalg::ConstMatrixView<double> B) {
+  summa_2d_hoarding(m, ProcessGrid(m.nprocs()), C, A, B);
+}
+
+void summa_l3_ool2(Machine& m, linalg::MatrixView<double> C,
+                   linalg::ConstMatrixView<double> A,
+                   linalg::ConstMatrixView<double> B) {
+  summa_l3_ool2(m, ProcessGrid(m.nprocs()), C, A, B);
 }
 
 }  // namespace wa::dist

@@ -2,10 +2,10 @@
 // wa::dist -- SUMMA-family parallel matrix multiplication on the
 // virtual Machine (Section 7 of the paper).
 //
-//   summa_2d        classical SUMMA on a sqrt(P) x sqrt(P) grid, data
-//                   resident in L2.  Each processor re-writes its C
-//                   block every step, so local L1->L2 writes are
-//                   W2-like (n^2/sqrt(P)), not W1 (n^2/P).
+//   summa_2d        classical SUMMA, data resident in L2.  Each
+//                   processor re-writes its C block every step, so
+//                   local L1->L2 writes are W2-like (n^2/sqrt(P)),
+//                   not W1 (n^2/P).
 //   summa_2d_hoarding
 //                   "write-hoarding" SUMMA: hoards the full A row
 //                   panel and B column panel in L2 first (extra
@@ -16,13 +16,37 @@
 //                   the price of Theta(n^3/(P sqrt(M2))) network words
 //                   (the WA side of the Theorem 4 trade-off).
 //
-// All variants throw std::invalid_argument unless P is a perfect
-// square, the matrices are square, and sqrt(P) divides n.
+// All variants run on a ProcessGrid (dist/grid.hpp): any processor
+// count P is factored into a pr x pc grid and any matrix edge n is
+// split with padded edge blocks, so neither perfect-square P nor
+// sqrt(P) | n is required any more.  Per-rank local phases (the
+// owned-block numerics plus the counter charging) execute through the
+// Machine's Backend, so a ThreadedBackend runs them in parallel.
+// Matrices must still be square and non-empty, and an explicit grid
+// must match the machine's processor count (std::invalid_argument
+// otherwise).
 
+#include "dist/grid.hpp"
 #include "dist/machine.hpp"
 #include "linalg/matrix.hpp"
 
 namespace wa::dist {
+
+void summa_2d(Machine& m, const ProcessGrid& g, linalg::MatrixView<double> C,
+              linalg::ConstMatrixView<double> A,
+              linalg::ConstMatrixView<double> B);
+
+void summa_2d_hoarding(Machine& m, const ProcessGrid& g,
+                       linalg::MatrixView<double> C,
+                       linalg::ConstMatrixView<double> A,
+                       linalg::ConstMatrixView<double> B);
+
+void summa_l3_ool2(Machine& m, const ProcessGrid& g,
+                   linalg::MatrixView<double> C,
+                   linalg::ConstMatrixView<double> A,
+                   linalg::ConstMatrixView<double> B);
+
+// Convenience overloads: grid = ProcessGrid(m.nprocs()).
 
 void summa_2d(Machine& m, linalg::MatrixView<double> C,
               linalg::ConstMatrixView<double> A,

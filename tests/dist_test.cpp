@@ -1,7 +1,9 @@
 // Tests for the distributed machine and the Section 7 algorithms:
 // numerics of every parallel matmul/LU variant and the headline
 // counter claims (W1 vs W2 writes to L2, Theorem 4 trade-off, LU
-// NVM-write asymmetry).
+// NVM-write asymmetry).  Topology (ProcessGrid) and execution
+// backend (serial vs threaded) specifics live in dist_grid_test.cpp;
+// the cost-model regression guard in dist_cost_model_test.cpp.
 
 #include <gtest/gtest.h>
 
@@ -103,6 +105,20 @@ TEST(Summa2dHoarding, AttainsW1WithExtraMemory) {
   EXPECT_LT(max_abs_diff(c, reference_product(a, b)), 1e-11);
   // One local multiply => local C written to L2 exactly once.
   EXPECT_EQ(m.proc(0).l2_write.words, std::uint64_t(n) * n / P);
+}
+
+TEST(Summa2d, RunsOnNonSquarePWithIndivisibleN) {
+  // P = 6 is factored into a 2 x 3 grid; n = 31 is divisible by
+  // neither grid dimension (padded edge blocks).  The old subsystem
+  // rejected both.
+  const std::size_t n = 31;
+  auto m = small_machine(6);
+  Matrix<double> a(n, n), b(n, n), c(n, n, 0.0);
+  linalg::fill_random(a, 14);
+  linalg::fill_random(b, 15);
+  summa_2d(m, c.view(), a.view(), b.view());
+  EXPECT_LT(max_abs_diff(c, reference_product(a, b)), 1e-11);
+  for (std::size_t p = 0; p < 6; ++p) EXPECT_GT(m.proc(p).nw.words, 0u);
 }
 
 TEST(Summa2d, NetworkWordsMatch2dModel) {
