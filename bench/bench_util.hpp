@@ -19,6 +19,24 @@ inline double env_scale() {
   return 1.0;
 }
 
+/// WA_PROCS overrides a distributed bench's processor count (any
+/// P >= 1: non-square and prime counts run on rectangular grids).
+/// Malformed or non-positive values are rejected loudly, like
+/// WA_THREADS, rather than silently benchmarking the wrong grid.
+inline std::size_t env_procs(std::size_t fallback) {
+  const char* s = std::getenv("WA_PROCS");
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (*end != '\0' || v <= 0) {
+    std::fprintf(stderr,
+                 "env_procs: WA_PROCS must be a positive integer, got '%s'\n",
+                 s);
+    std::exit(2);
+  }
+  return std::size_t(v);
+}
+
 class Table {
  public:
   explicit Table(std::vector<std::string> headers, int width = 14)

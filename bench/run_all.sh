@@ -43,6 +43,21 @@ for exe in "$BUILD_DIR"/bench/bench_* "$BUILD_DIR"/examples/example_*; do
   rm -f "$log"
 done
 
+# The any-P grid path: re-run the LU bench on a non-power-of-two
+# processor count (2 x 3 grid, padded block-cyclic ownership) so the
+# rectangular-grid schedules are exercised on every CI run, not only
+# when someone sets WA_PROCS by hand.
+if [ -x "$BUILD_DIR/bench/bench_lu" ]; then
+  printf '== bench_lu (WA_PROCS=6) ==\n'
+  log=$(mktemp)
+  if ! WA_PROCS=6 "$BUILD_DIR/bench/bench_lu" >"$log" 2>&1; then
+    printf '!! bench_lu (WA_PROCS=6) FAILED; output:\n'
+    cat "$log"
+    status=1
+  fi
+  rm -f "$log"
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "all benches and examples ran clean (WA_SCALE=$WA_SCALE, WA_BACKEND=$WA_BACKEND)"
 fi

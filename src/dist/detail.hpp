@@ -64,6 +64,16 @@ inline void charge_local_gemm(memsim::Hierarchy& h, std::size_t m,
   }
 }
 
+/// Charge the L1<->L2 traffic of an in-place blocked triangular solve
+/// or panel factor on an m x n tile against a k-wide triangle: the
+/// tile moves exactly like a blocked gemm of that shape (each output
+/// tile loaded and stored once, operand tiles streamed), so the gemm
+/// charger is reused rather than duplicating its loop.
+inline void charge_local_solve(memsim::Hierarchy& h, std::size_t m,
+                               std::size_t n, std::size_t k, std::size_t b) {
+  charge_local_gemm(h, m, n, k, b);
+}
+
 /// Chunk size that fits next to @p reserved resident words in L2.
 inline std::size_t l2_room(std::size_t M2, std::size_t reserved) {
   const std::size_t room = M2 > reserved ? M2 - reserved : 2;

@@ -35,8 +35,45 @@ struct BlockRange {
 /// most one and always sum to n (blocks may be empty when n < parts).
 inline BlockRange balanced_block(std::size_t n, std::size_t parts,
                                  std::size_t i) {
+  if (parts == 0) {
+    throw std::invalid_argument("balanced_block: parts must be positive");
+  }
   const std::size_t q = n / parts, r = n % parts;
   return BlockRange{i * q + std::min(i, r), q + (i < r ? 1 : 0)};
+}
+
+/// Block-cyclic ownership over one dimension: the @p b-wide blocks of
+/// [0, n) are dealt round-robin, block k to owner k % parts.  Returns
+/// the portions of @p owner's blocks that intersect [lo, n), clipped
+/// to the range -- the slice of a panel/trailing submatrix one grid
+/// row (or column) owns in the LU schedules.
+inline std::vector<BlockRange> cyclic_blocks(std::size_t n, std::size_t b,
+                                             std::size_t parts,
+                                             std::size_t owner,
+                                             std::size_t lo = 0) {
+  if (b == 0 || parts == 0) {
+    throw std::invalid_argument("cyclic_blocks: b and parts must be positive");
+  }
+  std::vector<BlockRange> out;
+  for (std::size_t k = lo / b; k * b < n; ++k) {
+    if (k % parts != owner) continue;
+    const std::size_t off = std::max(lo, k * b);
+    const std::size_t end = std::min(n, (k + 1) * b);
+    if (off < end) out.push_back(BlockRange{off, end - off});
+  }
+  return out;
+}
+
+/// Total size of @p owner's cyclic_blocks of [lo, n) -- the word count
+/// behind every per-rank LU charge.
+inline std::size_t cyclic_words(std::size_t n, std::size_t b,
+                                std::size_t parts, std::size_t owner,
+                                std::size_t lo = 0) {
+  std::size_t words = 0;
+  for (const BlockRange& r : cyclic_blocks(n, b, parts, owner, lo)) {
+    words += r.sz;
+  }
+  return words;
 }
 
 /// 2-D process topology: pr x pc ranks in row-major order.
@@ -100,6 +137,40 @@ class ProcessGrid {
   /// split are the big ones) -- capacity preconditions check this.
   std::size_t max_block_words(std::size_t n) const {
     return row_block(n, 0).sz * col_block(n, 0).sz;
+  }
+
+  /// Grid row owning the @p kb-th b-wide row block of a block-cyclic
+  /// layout (the LU panel ownership: blocks are dealt round-robin).
+  std::size_t cyclic_row_owner(std::size_t kb) const { return kb % pr_; }
+
+  /// Grid column owning the @p kb-th b-wide column block.
+  std::size_t cyclic_col_owner(std::size_t kb) const { return kb % pc_; }
+
+  /// Row ranges in [lo, n) owned by grid row @p i under a b-wide
+  /// block-cyclic layout.
+  std::vector<BlockRange> cyclic_row_blocks(std::size_t n, std::size_t b,
+                                            std::size_t i,
+                                            std::size_t lo = 0) const {
+    return cyclic_blocks(n, b, pr_, i, lo);
+  }
+
+  /// Column ranges in [lo, n) owned by grid column @p j.
+  std::vector<BlockRange> cyclic_col_blocks(std::size_t n, std::size_t b,
+                                            std::size_t j,
+                                            std::size_t lo = 0) const {
+    return cyclic_blocks(n, b, pc_, j, lo);
+  }
+
+  /// Rows in [lo, n) owned by grid row @p i (block-cyclic, b-wide).
+  std::size_t cyclic_row_words(std::size_t n, std::size_t b, std::size_t i,
+                               std::size_t lo = 0) const {
+    return cyclic_words(n, b, pr_, i, lo);
+  }
+
+  /// Columns in [lo, n) owned by grid column @p j.
+  std::size_t cyclic_col_words(std::size_t n, std::size_t b, std::size_t j,
+                               std::size_t lo = 0) const {
+    return cyclic_words(n, b, pc_, j, lo);
   }
 
   /// Partition of the contraction dimension into SUMMA panels: the

@@ -16,10 +16,20 @@
 //                     NVM on every step.
 //
 // Both overwrite A with L (unit lower) and U and must agree with
-// linalg::lu_nopivot_unblocked.  @p b is the panel width.  Any P is
-// accepted: the processors are arranged on a ProcessGrid
-// (dist/grid.hpp) and per-processor shares use the grid's row count
-// in place of the old perfect-square sqrt(P) requirement.
+// linalg::lu_nopivot_unblocked.  @p b is the panel width.
+//
+// The numerics are distributed: the matrix is dealt onto a
+// ProcessGrid (dist/grid.hpp) block-cyclically with block size b --
+// tile (ib, jb) lives on rank (ib % pr, jb % pc) -- and every panel
+// factor / triangular solve / gemm update runs on the owning rank
+// inside a Backend local phase (Machine::run_local_each /
+// run_local_on), so the ThreadedBackend parallelizes real LU work and
+// channel counters are byte-identical to the serial simulator.
+// Panels are broadcast along the owning row/column groups (RL) or
+// shipped row-wise to the active column group (LL), never to
+// all_procs, and every charge is derived from the rank's actual owned
+// block words.  Any P is accepted (non-square P factors into the
+// nearest rectangle; n need not divide the grid or the panel width).
 
 #include <cstddef>
 

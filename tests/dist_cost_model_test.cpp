@@ -354,23 +354,83 @@ TEST(ModelRegression, LuNvmWritesMatchSection72ClosedForms) {
   Machine m_ll(P, 192, M2, 1 << 22);
   auto a_ll = a0;
   lu_left_looking(m_ll, a_ll.view(), b, 2);
-  // LL-LUNP writes each finished block column once: summing the
-  // per-column shares gives ~n^2/(2P) -- half the model's n^2/P,
-  // which counts the full matrix without the triangular saving.
-  const double ll_model = 0.5 * lu_ll_cost(n, P, M2).l3w_words;
+  // LL-LUNP writes each finished block column to NVM exactly once.
+  // Since the per-rank rewrite every rank writes its block-cyclic
+  // share of the *full* column height (top U tiles included), so the
+  // critical path matches the model's n^2/P directly -- the old
+  // replicated code only counted rows below the diagonal, which is
+  // why a 0.5 triangular factor used to be applied here.
+  const double ll_model = lu_ll_cost(n, P, M2).l3w_words;
   EXPECT_NEAR(double(m_ll.critical_path().l3_write.words), ll_model,
               0.15 * ll_model);
+  // The exactly-once property, as an exact global pin: summed over
+  // ranks, every matrix entry is written precisely one time.
+  std::uint64_t ll_total = 0;
+  for (std::size_t p = 0; p < P; ++p) {
+    ll_total += m_ll.proc(p).l3_write.words;
+  }
+  EXPECT_EQ(ll_total, std::uint64_t(n) * n);
 
   Machine m_rl(P, 192, M2, 1 << 22);
   auto a_rl = a0;
   lu_right_looking(m_rl, a_rl.view(), b);
   // RL-LUNP re-writes the trailing matrix every panel: n^3/(3 P b)
   // with the simulator's panel width b in place of the model's
-  // sqrt(M2) blocking.
-  const double rl_model =
-      double(n) * n * n / (3.0 * double(P) * double(b));
+  // sqrt(M2) blocking.  Two per-rank corrections on top of the
+  // closed form's uniform 1/P share: the critical path is the rank
+  // owning the bottom-right corner, whose block-cyclic trailing
+  // share is ceil((nb-1-kb)/sqrt(P)) blocks per step -- the ceil
+  // adds ~n^2/(2 sqrt(P)) over the uniform split -- and the finished
+  // panels are now charged as written once (~n^2/P, the model's
+  // output term).
+  const double nd = double(n), Pd = double(P);
+  const double rl_model = nd * nd * nd / (3.0 * Pd * double(b)) +
+                          nd * nd / (2.0 * std::sqrt(Pd)) + nd * nd / Pd;
   EXPECT_NEAR(double(m_rl.critical_path().l3_write.words), rl_model,
               0.15 * rl_model);
+  // Exact global pin: each step writes the factored panel once plus
+  // the whole trailing matrix, (n - k0)^2 words in total.
+  std::uint64_t rl_total = 0, rl_expect = 0;
+  for (std::size_t p = 0; p < P; ++p) {
+    rl_total += m_rl.proc(p).l3_write.words;
+  }
+  for (std::size_t k0 = 0; k0 < n; k0 += b) {
+    rl_expect += std::uint64_t(n - k0) * (n - k0);
+  }
+  EXPECT_EQ(rl_total, rl_expect);
+}
+
+// The PR 2 era charging mixed per_proc(..., P) and per_proc(..., gr)
+// divisors, which skewed LU counters precisely when P is not a
+// perfect square (gr != sqrt(P)).  Pin the exact counters of both
+// variants on a 2 x 3 grid with n indivisible by either grid edge,
+// so any divisor inconsistency -- or any silent charging change --
+// fails this test instead of only shifting printed tables.  The
+// golden values were read off the per-rank ownership arithmetic of
+// the block-cyclic rewrite (b-wide blocks dealt round-robin, panel
+// broadcasts along owning row/column groups only) and are exact
+// integer counts, so they are platform-independent.
+TEST(ModelRegression, LuCountersPinnedOnNonSquareGrid) {
+  const std::size_t n = 26, P = 6, b = 4;
+  auto a0 = linalg::random_spd(n, 46);
+
+  Machine m_rl(P, 192, 4096, 1 << 22);
+  auto a_rl = a0;
+  lu_right_looking(m_rl, a_rl.view(), b);
+  const auto& rl = m_rl.critical_path();
+  EXPECT_EQ(rl.nw.words, 512u);
+  EXPECT_EQ(rl.nw.messages, 26u);
+  EXPECT_EQ(rl.l3_read.words, 316u);
+  EXPECT_EQ(rl.l3_write.words, 316u);
+
+  Machine m_ll(P, 192, 4096, 1 << 22);
+  auto a_ll = a0;
+  lu_left_looking(m_ll, a_ll.view(), b, 2);
+  const auto& ll = m_ll.critical_path();
+  EXPECT_EQ(ll.nw.words, 484u);
+  EXPECT_EQ(ll.nw.messages, 20u);
+  EXPECT_EQ(ll.l3_read.words, 452u);
+  EXPECT_EQ(ll.l3_write.words, 140u);
 }
 
 }  // namespace

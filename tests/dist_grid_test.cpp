@@ -77,6 +77,46 @@ TEST(ProcessGrid2d, BalancedBlocksCoverEverythingOnce) {
   EXPECT_EQ(total, 3u);
 }
 
+TEST(ProcessGrid2d, BalancedBlockRejectsZeroParts) {
+  EXPECT_THROW(balanced_block(10, 0, 0), std::invalid_argument);
+  // The guard sits on the shared splitter, so every caller (grid
+  // blocks, thread-pool slices) inherits it.
+  EXPECT_EQ(balanced_block(10, 1, 0).sz, 10u);
+}
+
+TEST(ProcessGrid2d, CyclicBlocksDealRoundRobinAndClip) {
+  // 26 items in 4-wide blocks over 2 owners: owner 0 gets blocks
+  // {0, 2, 4, 6} = [0,4) [8,12) [16,20) [24,26), owner 1 the rest.
+  const auto own0 = cyclic_blocks(26, 4, 2, 0);
+  ASSERT_EQ(own0.size(), 4u);
+  EXPECT_EQ(own0[0].off, 0u);
+  EXPECT_EQ(own0[3].off, 24u);
+  EXPECT_EQ(own0[3].sz, 2u);  // the padded edge block
+  EXPECT_EQ(cyclic_words(26, 4, 2, 0), 14u);
+  EXPECT_EQ(cyclic_words(26, 4, 2, 1), 12u);
+  // A lo cut drops whole leading blocks and clips a straddled one.
+  EXPECT_EQ(cyclic_words(26, 4, 2, 0, 8), 10u);
+  EXPECT_EQ(cyclic_words(26, 4, 2, 0, 10), 8u);
+  // Owners cover everything exactly once for any (n, b, parts).
+  for (std::size_t parts : {1u, 3u, 5u}) {
+    std::size_t total = 0;
+    for (std::size_t o = 0; o < parts; ++o) {
+      total += cyclic_words(31, 3, parts, o);
+    }
+    EXPECT_EQ(total, 31u);
+  }
+  EXPECT_THROW(cyclic_blocks(10, 0, 2, 0), std::invalid_argument);
+  EXPECT_THROW(cyclic_blocks(10, 2, 0, 0), std::invalid_argument);
+  // ProcessGrid exposes the same dealing per grid dimension.
+  ProcessGrid g(2, 3);
+  EXPECT_EQ(g.cyclic_row_owner(5), 1u);
+  EXPECT_EQ(g.cyclic_col_owner(5), 2u);
+  EXPECT_EQ(g.cyclic_row_words(26, 4, 0), 14u);
+  EXPECT_EQ(g.cyclic_col_words(26, 4, 0) + g.cyclic_col_words(26, 4, 1) +
+                g.cyclic_col_words(26, 4, 2),
+            26u);
+}
+
 TEST(ProcessGrid2d, KPanelsRefineBothPartitionsOnRectangularGrids) {
   // pr = 2 cuts 10 at {5}; pc = 3 cuts it at {4, 7}: the refinement
   // is [0,4) [4,5) [5,7) [7,10), so every panel has a unique owner
@@ -291,6 +331,75 @@ TEST(Backends, ThreadedCountersBitIdenticalForMm25d) {
     mm_25d(m, c, a, b, opt);
   });
 }
+
+// The per-rank LU rewrite must behave exactly like the matmuls under
+// the thread pool: every channel counter of every processor and every
+// output bit identical to the serial simulator, for both schedules,
+// on every grid shape (square, non-square, prime => 1 x P, P = 1) and
+// with n indivisible by the grid edges or the panel width.
+struct LuBackendCase {
+  std::size_t P, n;
+  const char* name;
+};
+
+class LuBackends : public ::testing::TestWithParam<LuBackendCase> {};
+
+TEST_P(LuBackends, CountersAndBitsIdenticalSerialVsThreaded) {
+  const auto& tc = GetParam();
+  auto a0 = linalg::random_spd(tc.n, 63);
+  auto ref = a0;
+  linalg::lu_nopivot_unblocked(ref.view());
+
+  const auto sweep = [&](const char* who, auto&& lu) {
+    Machine serial(tc.P, 192, 4096, 1 << 22, HwParams{},
+                   std::make_unique<SerialSimBackend>());
+    auto a_serial = a0;
+    lu(serial, a_serial.view());
+
+    Machine threaded(tc.P, 192, 4096, 1 << 22, HwParams{},
+                     std::make_unique<ThreadedBackend>(4));
+    auto a_threaded = a0;
+    lu(threaded, a_threaded.view());
+
+    // Numerics agree with the unblocked reference...
+    EXPECT_LT(max_abs_diff(a_serial, ref), 1e-8) << who;
+    // ...and are bitwise identical across backends: every tile is
+    // owned by exactly one rank and accumulated in a fixed order.
+    EXPECT_EQ(std::memcmp(a_serial.data(), a_threaded.data(),
+                          tc.n * tc.n * sizeof(double)),
+              0)
+        << who;
+    for (std::size_t p = 0; p < tc.P; ++p) {
+      const ProcTraffic& s = serial.proc(p);
+      const ProcTraffic& t = threaded.proc(p);
+      const auto eq = [&](const ChanCount& x, const ChanCount& y,
+                          const char* ch) {
+        EXPECT_EQ(x.words, y.words) << who << " proc " << p << " " << ch;
+        EXPECT_EQ(x.messages, y.messages)
+            << who << " proc " << p << " " << ch;
+      };
+      eq(s.nw, t.nw, "nw");
+      eq(s.l3_read, t.l3_read, "l3_read");
+      eq(s.l3_write, t.l3_write, "l3_write");
+      eq(s.l2_read, t.l2_read, "l2_read");
+      eq(s.l2_write, t.l2_write, "l2_write");
+    }
+  };
+  sweep("lu_right_looking", [](Machine& m, linalg::MatrixView<double> a) {
+    lu_right_looking(m, a, /*b=*/4);
+  });
+  sweep("lu_left_looking", [](Machine& m, linalg::MatrixView<double> a) {
+    lu_left_looking(m, a, /*b=*/3, /*s=*/2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, LuBackends,
+    ::testing::Values(LuBackendCase{1, 19, "single_proc"},
+                      LuBackendCase{4, 26, "square_P"},
+                      LuBackendCase{6, 26, "P6_rectangular"},
+                      LuBackendCase{7, 23, "prime_P"}),
+    [](const auto& info) { return info.param.name; });
 
 TEST(Backends, ErrorPathChargesTheSameRanksAsSerial) {
   // Rank 5 of 8 throws: both backends must have charged exactly the

@@ -250,6 +250,21 @@ TEST(LuRightLooking, NumericsMatchReference) {
   EXPECT_LT(max_abs_diff(a, ref), 1e-8);
 }
 
+TEST(Lu, LeftLookingWritesEveryEntryToNvmExactlyOnce) {
+  // The WA schedule's defining property, now checkable per rank:
+  // summed over processors, the finished factors hit NVM exactly n^2
+  // words -- no matter the grid shape or how n divides it.
+  for (const std::size_t P : {1, 4, 6, 13, 16}) {
+    const std::size_t n = 30;
+    auto m = small_machine(P);
+    auto a = linalg::random_spd(n, 17);
+    lu_left_looking(m, a.view(), /*b=*/4, /*s=*/2);
+    std::uint64_t total = 0;
+    for (std::size_t p = 0; p < P; ++p) total += m.proc(p).l3_write.words;
+    EXPECT_EQ(total, std::uint64_t(n) * n) << "P=" << P;
+  }
+}
+
 TEST(Lu, LeftLookingWritesLessNvmRightLookingLessNetwork) {
   const std::size_t n = 64, P = 16;
   auto a0 = linalg::random_spd(n, 13);
