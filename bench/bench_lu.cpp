@@ -22,32 +22,11 @@
 #include "dist/machine.hpp"
 #include "linalg/kernels.hpp"
 
-namespace {
-
 using namespace wa;
 using namespace wa::dist;
 
-// True when every channel counter (words and messages) of every
-// processor agrees -- the backends' byte-identical-counters claim.
-bool same_counters(const Machine& x, const Machine& y) {
-  const auto eq = [](const ChanCount& a, const ChanCount& b) {
-    return a.words == b.words && a.messages == b.messages;
-  };
-  for (std::size_t p = 0; p < x.nprocs(); ++p) {
-    const ProcTraffic& a = x.proc(p);
-    const ProcTraffic& b = y.proc(p);
-    if (!eq(a.nw, b.nw) || !eq(a.l3_read, b.l3_read) ||
-        !eq(a.l3_write, b.l3_write) || !eq(a.l2_read, b.l2_read) ||
-        !eq(a.l2_write, b.l2_write)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv);
   const double sc = bench::env_scale();
   const std::size_t n = std::size_t(64 * sc);
   const std::size_t P = bench::env_procs(16);
@@ -61,13 +40,13 @@ int main() {
   auto ref = a0;
   linalg::lu_nopivot_unblocked(ref.view());
 
-  Machine m_ll(P, M1, M2, M3, HwParams{}, backend_from_env());
+  Machine m_ll(P, M1, M2, M3, HwParams{}, bench::env_backend());
   auto a_ll = a0;
   lu_left_looking(m_ll, a_ll.view(), /*b=*/2, /*s=*/2);
   std::printf("[LL-LUNP] numerics max|err| = %.2e\n",
               linalg::max_abs_diff(a_ll, ref));
 
-  Machine m_rl(P, M1, M2, M3, HwParams{}, backend_from_env());
+  Machine m_rl(P, M1, M2, M3, HwParams{}, bench::env_backend());
   auto a_rl = a0;
   lu_right_looking(m_rl, a_rl.view(), /*b=*/4);
   std::printf("[RL-LUNP] numerics max|err| = %.2e\n\n",
@@ -77,6 +56,19 @@ int main() {
   const auto rl = m_rl.critical_path();
   const auto mll = lu_ll_cost(n, P, M2);
   const auto mrl = lu_rl_cost(n, P, M2);
+
+  // Machine-readable counters for CI's baseline drift check.
+  const auto dump = [&](const char* key, const ProcTraffic& t,
+                        const Machine& m) {
+    json.add(key, "nw_words", t.nw.words);
+    json.add(key, "nw_messages", t.nw.messages);
+    json.add(key, "l3_write_words", t.l3_write.words);
+    json.add(key, "l3_read_words", t.l3_read.words);
+    json.add(key, "l2_write_words", t.l2_write.words);
+    json.add(key, "wall_seconds", m.local_wall_seconds());
+  };
+  dump("ll_lunp", ll, m_ll);
+  dump("rl_lunp", rl, m_rl);
 
   bench::Table t({"algorithm", "NW words", "NVM writes", "NVM reads",
                   "model NW", "model NVMw"});
@@ -101,7 +93,7 @@ int main() {
   // run on a thread pool instead of the serial simulator; counters
   // and output bits must not move.
   {
-    const std::size_t env_threads = threads_from_env();
+    const std::size_t env_threads = bench::env_threads();
     const std::size_t threads =
         env_threads != 0
             ? env_threads
@@ -123,7 +115,7 @@ int main() {
       const double wt = threaded.local_wall_seconds();
       bt.row({name, bench::fmt_d(ws, 4), bench::fmt_d(wt, 4),
               bench::fmt_d(wt > 0 ? ws / wt : 0.0),
-              same_counters(serial, threaded) ? "identical" : "MISMATCH"});
+              bench::same_counters(serial, threaded) ? "identical" : "MISMATCH"});
     };
     compare("LL-LUNP", [](Machine& m, linalg::MatrixView<double> a) {
       lu_left_looking(m, a, /*b=*/2, /*s=*/2);

@@ -31,24 +31,6 @@ namespace {
 using namespace wa;
 using namespace wa::dist;
 
-// True when every channel counter (words and messages) of every
-// processor agrees -- the backends' byte-identical-counters claim.
-bool same_counters(const Machine& x, const Machine& y) {
-  const auto eq = [](const ChanCount& a, const ChanCount& b) {
-    return a.words == b.words && a.messages == b.messages;
-  };
-  for (std::size_t p = 0; p < x.nprocs(); ++p) {
-    const ProcTraffic& a = x.proc(p);
-    const ProcTraffic& b = y.proc(p);
-    if (!eq(a.nw, b.nw) || !eq(a.l3_read, b.l3_read) ||
-        !eq(a.l3_write, b.l3_write) || !eq(a.l2_read, b.l2_read) ||
-        !eq(a.l2_write, b.l2_write)) {
-      return false;
-    }
-  }
-  return true;
-}
-
 void print_rows(const char* name, const MmCostModel& model,
                 const Machine& m, const HwParams& hw) {
   const ProcTraffic& meas = m.critical_path();
@@ -91,7 +73,7 @@ int main() {
   linalg::gemm_acc(ref.view(), a.view(), b.view());
 
   {
-    Machine m(P, M1, M2, M3, hw, backend_from_env());
+    Machine m(P, M1, M2, M3, hw, bench::env_backend());
     linalg::Matrix<double> c(n, n, 0.0);
     mm_25d(m, c.view(), a.view(), b.view(), Mm25dOptions{1, false, false, 0});
     std::printf("[2DMML2]     numerics max|err| = %.2e\n",
@@ -99,7 +81,7 @@ int main() {
     print_rows("2DMML2 (c=1, L2 only)", table1_2dmml2(n, P, M1), m, hw);
   }
   {
-    Machine m(P, M1, M2, M3, hw, backend_from_env());
+    Machine m(P, M1, M2, M3, hw, bench::env_backend());
     linalg::Matrix<double> c(n, n, 0.0);
     mm_25d(m, c.view(), a.view(), b.view(),
            Mm25dOptions{c2, false, false, 0});
@@ -109,7 +91,7 @@ int main() {
                table1_25dmml2(n, P, M1, c2), m, hw);
   }
   {
-    Machine m(P, M1, M2, M3, hw, backend_from_env());
+    Machine m(P, M1, M2, M3, hw, bench::env_backend());
     linalg::Matrix<double> c(n, n, 0.0);
     mm_25d(m, c.view(), a.view(), b.view(),
            Mm25dOptions{c3, true, false, c2});
@@ -125,7 +107,7 @@ int main() {
     // At least 4 workers (WA_THREADS overrides): per-rank local
     // phases are embarrassingly parallel, so any machine with >= 4
     // cores shows wall-clock speedup at n >= 512 (WA_SCALE=4).
-    const std::size_t env_threads = threads_from_env();
+    const std::size_t env_threads = bench::env_threads();
     const std::size_t threads =
         env_threads != 0
             ? env_threads
@@ -146,7 +128,7 @@ int main() {
     std::printf("\nBackend wall-clock, 2DMML2 local phases (n=%zu, P=%zu):\n",
                 n, P);
     bench::Table t({"backend", "wall (s)", "speedup", "counters"});
-    const bool same = same_counters(serial, threaded);
+    const bool same = bench::same_counters(serial, threaded);
     t.row({"serial", bench::fmt_d(ws, 4), "1.00", "reference"});
     t.row({"threaded x" + std::to_string(threads), bench::fmt_d(wt, 4),
            bench::fmt_d(wt > 0 ? ws / wt : 0.0),

@@ -69,7 +69,7 @@ int main() {
 
   ProcTraffic t25, tsu;
   {
-    Machine m(P, M1, M2, M3, HwParams{}, backend_from_env());
+    Machine m(P, M1, M2, M3, HwParams{}, bench::env_backend());
     linalg::Matrix<double> c(n, n, 0.0);
     mm_25d(m, c.view(), a.view(), b.view(), Mm25dOptions{c3, true, true, 0});
     std::printf("\n[2.5DMML3ooL2] numerics max|err| = %.2e\n",
@@ -79,7 +79,7 @@ int main() {
                table2_25dmml3ool2(n, P, M1, M2, c3), m);
   }
   {
-    Machine m(P, M1, M2, M3, HwParams{}, backend_from_env());
+    Machine m(P, M1, M2, M3, HwParams{}, bench::env_backend());
     linalg::Matrix<double> c(n, n, 0.0);
     summa_l3_ool2(m, c.view(), a.view(), b.view());
     std::printf("\n[SUMMAL3ooL2]  numerics max|err| = %.2e\n",

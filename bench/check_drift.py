@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Baseline drift check for the bench --json reports.
+
+Usage: check_drift.py [--tol REL] BASELINE_DIR REPORT.json [...]
+
+Each REPORT is compared against BASELINE_DIR/<basename REPORT>.  The
+reports are two-level JSON objects: case -> counter -> number.  Keys
+containing "wall" or "seconds" are wall-clock measurements and are
+skipped; every other value is a deterministic simulator counter, so a
+relative deviation beyond --tol (default 5%) fails the check, as does
+a case or counter appearing on only one side.
+
+Regenerating a baseline after an *intentional* counter change:
+    WA_SCALE=... WA_PROCS=... build/bench/<bench> --json \
+        bench/baselines/BENCH_<bench>.json
+(the exact pinned environments live in .github/workflows/ci.yml).
+"""
+
+import json
+import os
+import sys
+
+
+def is_timing(key: str) -> bool:
+    return "wall" in key or "seconds" in key
+
+
+def compare(base: dict, got: dict, tol: float, name: str) -> list[str]:
+    errors = []
+    for case in sorted(set(base) | set(got)):
+        if case not in got:
+            errors.append(f"{name}: case '{case}' missing from report")
+            continue
+        if case not in base:
+            errors.append(f"{name}: case '{case}' not in baseline "
+                          "(regenerate the baseline if intentional)")
+            continue
+        bkv, gkv = base[case], got[case]
+        for key in sorted(set(bkv) | set(gkv)):
+            if is_timing(key):
+                continue
+            if key not in gkv:
+                errors.append(f"{name}: {case}.{key} missing from report")
+                continue
+            if key not in bkv:
+                errors.append(f"{name}: {case}.{key} not in baseline")
+                continue
+            b, g = float(bkv[key]), float(gkv[key])
+            denom = max(abs(b), 1.0)
+            rel = abs(g - b) / denom
+            if rel > tol:
+                errors.append(
+                    f"{name}: {case}.{key} drifted {rel:.1%} "
+                    f"(baseline {b:g}, measured {g:g}, tol {tol:.1%})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    tol = 0.05
+    if args and args[0] == "--tol":
+        tol = float(args[1])
+        args = args[2:]
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline_dir, reports = args[0], args[1:]
+    errors = []
+    for report in reports:
+        name = os.path.basename(report)
+        base_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(base_path):
+            errors.append(f"{name}: no baseline at {base_path} "
+                          "(check it in to enable the drift guard)")
+            continue
+        with open(base_path) as f:
+            base = json.load(f)
+        with open(report) as f:
+            got = json.load(f)
+        errors.extend(compare(base, got, tol, name))
+
+    if errors:
+        print("bench baseline drift detected:")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print(f"bench baselines clean ({len(reports)} report(s), "
+          f"tol {tol:.1%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -58,6 +58,24 @@ if [ -x "$BUILD_DIR/bench/bench_lu" ]; then
   rm -f "$log"
 fi
 
+# The distributed Krylov sweep runs under *both* execution backends
+# and on a non-power-of-two processor count (ragged 1-D row blocks,
+# ghost zones spanning uneven neighbours) on every smoke run,
+# whatever WA_BACKEND the caller chose above.
+if [ -x "$BUILD_DIR/bench/bench_krylov" ]; then
+  for be in serial threaded; do
+    printf '== bench_krylov (WA_BACKEND=%s WA_PROCS=6) ==\n' "$be"
+    log=$(mktemp)
+    if ! WA_BACKEND="$be" WA_THREADS=2 WA_PROCS=6 \
+        "$BUILD_DIR/bench/bench_krylov" >"$log" 2>&1; then
+      printf '!! bench_krylov (WA_BACKEND=%s WA_PROCS=6) FAILED; output:\n' "$be"
+      cat "$log"
+      status=1
+    fi
+    rm -f "$log"
+  done
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "all benches and examples ran clean (WA_SCALE=$WA_SCALE, WA_BACKEND=$WA_BACKEND)"
 fi

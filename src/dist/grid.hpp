@@ -173,6 +173,29 @@ class ProcessGrid {
     return cyclic_words(n, b, pc_, j, lo);
   }
 
+  /// All P ranks in row-major order -- the flat 1-D topology the
+  /// row-partitioned Krylov solvers treat the grid as (their
+  /// allreduce group spans every rank).
+  std::vector<std::size_t> linear_group() const {
+    std::vector<std::size_t> g(size());
+    for (std::size_t p = 0; p < g.size(); ++p) g[p] = p;
+    return g;
+  }
+
+  /// Rows [off, off+sz) of an n-row vector owned by linear rank @p p
+  /// under the balanced 1-D row partition over all P ranks.
+  BlockRange linear_block(std::size_t n, std::size_t p) const {
+    return balanced_block(n, size(), p);
+  }
+
+  /// Linear rank owning global row @p i of an n-row vector.
+  std::size_t linear_owner(std::size_t n, std::size_t i) const {
+    const std::size_t P = size();
+    const std::size_t q = n / P, r = n % P;
+    if (i < r * (q + 1)) return i / (q + 1);
+    return q == 0 ? r : r + (i - r * (q + 1)) / q;
+  }
+
   /// Partition of the contraction dimension into SUMMA panels: the
   /// common refinement of the row-block and column-block boundaries,
   /// so every panel has a unique owner column (in A) and owner row
@@ -198,6 +221,45 @@ class ProcessGrid {
  private:
   std::size_t pr_ = 1, pc_ = 1;
 };
+
+/// One neighbour shipment of a 1-D ghost-zone exchange: @p rows rows
+/// travel from their owner @p src to the requesting rank @p dst.
+struct HaloTransfer {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::size_t rows = 0;
+};
+
+/// Shipments of a width-@p ghost exchange over the balanced 1-D row
+/// partition of n rows: every rank receives the @p ghost rows
+/// immediately above and below its own range from their owners
+/// (clipped at the domain edges).  A ghost zone wider than a
+/// neighbour's block spills over to the next rank, so the list is
+/// correct for any P, any n, and ghost widths spanning several
+/// blocks; ranks with empty blocks request nothing.
+inline std::vector<HaloTransfer> halo_transfers(const ProcessGrid& g,
+                                                std::size_t n,
+                                                std::size_t ghost) {
+  std::vector<HaloTransfer> out;
+  if (ghost == 0) return out;
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    const BlockRange own = g.linear_block(n, p);
+    if (own.sz == 0) continue;
+    const auto request = [&](std::size_t lo, std::size_t hi) {
+      // Split [lo, hi) by owning rank; each owner ships its overlap.
+      while (lo < hi) {
+        const std::size_t q = g.linear_owner(n, lo);
+        const BlockRange blk = g.linear_block(n, q);
+        const std::size_t end = std::min(hi, blk.off + blk.sz);
+        out.push_back(HaloTransfer{q, p, end - lo});
+        lo = end;
+      }
+    };
+    request(own.off >= ghost ? own.off - ghost : 0, own.off);
+    request(own.off + own.sz, std::min(n, own.off + own.sz + ghost));
+  }
+  return out;
+}
 
 /// 3-D process topology for the 2.5D algorithms: @p c replicated
 /// layers of a ProcessGrid over P/c ranks.  Rank of (i, j, l) is

@@ -1,0 +1,555 @@
+#include "dist/krylov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/detail.hpp"
+#include "krylov/cacg_detail.hpp"
+
+namespace wa::dist {
+namespace {
+
+namespace kd = wa::krylov::detail;
+
+using krylov::CaCgBasis;
+using krylov::CaCgMode;
+using krylov::CaCgOptions;
+
+std::size_t rows_nnz(const sparse::Csr& A, std::size_t lo, std::size_t hi) {
+  return A.row_ptr[hi] - A.row_ptr[lo];
+}
+
+/// Words each rank receives under a halo exchange, per vector.
+std::vector<std::size_t> recv_rows(const std::vector<HaloTransfer>& halos,
+                                   std::size_t P) {
+  std::vector<std::size_t> r(P, 0);
+  for (const HaloTransfer& t : halos) r[t.dst] += t.rows;
+  return r;
+}
+
+/// The balanced 1-D row partition both solvers run on, plus its ghost
+/// and allreduce plumbing.  Partial dot products are combined in rank
+/// order on the calling thread (deterministic under every backend,
+/// and exactly the full-range sum when P = 1, which is what pins the
+/// P = 1 runs bitwise-equal to the shared-memory solvers).
+struct RowPart {
+  Machine& m;
+  const sparse::Csr& A;
+  ProcessGrid g;
+  std::size_t P;
+  std::vector<std::size_t> group;
+  std::vector<BlockRange> own;
+  std::vector<double> partial;
+
+  RowPart(Machine& mm, const sparse::Csr& a)
+      : m(mm), A(a), g(mm.nprocs()), P(g.size()), group(g.linear_group()),
+        own(P), partial(P, 0.0) {
+    for (std::size_t p = 0; p < P; ++p) own[p] = g.linear_block(A.n, p);
+  }
+
+  /// Ghost exchange of @p vecs row-partitioned vectors: owners read
+  /// the shipped boundary rows from slow memory once, then every
+  /// transfer is a neighbour send charged to both endpoints.  The
+  /// received rows stay in the consumer's fast memory (charged as L2
+  /// transit where they are used), so ghosts never inflate W12.
+  void exchange(const std::vector<HaloTransfer>& halos, std::size_t vecs) {
+    if (halos.empty()) return;
+    std::vector<std::size_t> sent(P, 0);
+    for (const HaloTransfer& t : halos) sent[t.src] += t.rows * vecs;
+    m.run_local_each([&](std::size_t p, memsim::Hierarchy& h) {
+      detail::charge_l3_read(h, sent[p], m.M2());
+    });
+    for (const HaloTransfer& t : halos) {
+      m.send(t.src, t.dst, t.rows * vecs);
+    }
+  }
+
+  /// Charge a binomial-tree allreduce of @p words among all ranks
+  /// (reduce with per-round combines, then broadcast of the result).
+  void allreduce_charge(std::size_t words) {
+    m.reduce(group, words);
+    m.bcast(group, words);
+  }
+
+  /// Combine the per-rank partials and charge a one-word allreduce.
+  double allreduce(const std::vector<double>& part) {
+    double sum = 0.0;
+    for (std::size_t p = 0; p < P; ++p) sum += part[p];
+    allreduce_charge(1);
+    return sum;
+  }
+};
+
+/// Fill @p W with the 2s+1 basis columns over the extent [elo, ehi):
+/// heads copied from p and r, then the shifted recurrence with
+/// per-level shrinking validity (rows computable inside the extent).
+/// Returns the A-words (values + cols of every computed row) the
+/// caller charges as slow reads.  One definition serves the stored
+/// phase and both streaming passes, so their arithmetic -- and the
+/// bitwise pins built on it -- cannot drift apart.
+std::uint64_t build_basis_block(const sparse::Csr& A,
+                                const kd::BasisCoeffs& bc, std::size_t s,
+                                std::size_t bw, const std::vector<double>& p,
+                                const std::vector<double>& r,
+                                std::size_t elo, std::size_t ehi,
+                                std::vector<std::vector<double>>& W) {
+  const std::size_t n = A.n;
+  W.assign(2 * s + 1, std::vector<double>(ehi - elo, 0.0));
+  for (std::size_t i = elo; i < ehi; ++i) {
+    W[0][i - elo] = p[i];
+    W[s + 1][i - elo] = r[i];
+  }
+  std::uint64_t a_words = 0;
+  const auto advance = [&](std::size_t from, std::size_t to,
+                           std::size_t level, double theta) {
+    const std::size_t vlo = elo == 0 ? 0 : elo + level * bw;
+    const std::size_t vhi = ehi == n ? n : ehi - level * bw;
+    for (std::size_t i = vlo; i < vhi; ++i) {
+      W[to][i - elo] =
+          (kd::row_dot(A, i, W[from].data(), -std::ptrdiff_t(elo)) -
+           theta * W[from][i - elo]) /
+          bc.sigma;
+    }
+    a_words += 2 * rows_nnz(A, vlo, vhi);  // A values + cols
+  };
+  for (std::size_t j = 0; j < s; ++j) {
+    advance(j, j + 1, j + 1, bc.theta[j]);
+  }
+  for (std::size_t j = 0; j + 1 < s; ++j) {
+    advance(s + 1 + j, s + 1 + j + 1, j + 1, bc.theta[j]);
+  }
+  return a_words;
+}
+
+/// Shared solve setup: ghost exchange of x, per-rank r = b - A x and
+/// p = r (charged at the shared-memory rates), delta = <r, r> via
+/// allreduce, and <b, b> for the stopping threshold (rank-ordered but
+/// uncharged reads, matching the shared-memory solvers).
+struct SetupResult {
+  double delta;
+  double bb;
+};
+
+SetupResult residual_setup(RowPart& rp,
+                           const std::vector<HaloTransfer>& halo1,
+                           const std::vector<std::size_t>& recv1,
+                           std::span<const double> b, std::span<double> x,
+                           std::vector<double>& r, std::vector<double>& p,
+                           std::vector<double>& w) {
+  Machine& m = rp.m;
+  const sparse::Csr& A = rp.A;
+
+  rp.exchange(halo1, 1);
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    const BlockRange o = rp.own[rank];
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
+      w[i] = kd::row_dot(A, i, x.data(), 0);
+    }
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
+      r[i] = b[i] - w[i];
+      p[i] = r[i];
+    }
+    detail::charge_l2_transit(h, recv1[rank], m.M2(), 0);
+    detail::charge_l3_read(
+        h, rows_nnz(A, o.off, o.off + o.sz) + 3 * o.sz, m.M2());
+    detail::charge_l3_write(h, 2 * o.sz, m.M2());
+  });
+
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    const BlockRange o = rp.own[rank];
+    double sum = 0.0;
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += r[i] * r[i];
+    rp.partial[rank] = sum;
+    detail::charge_l3_read(h, 2 * o.sz, m.M2());
+  });
+  const double delta = rp.allreduce(rp.partial);
+
+  double bb = 0.0;
+  for (std::size_t q = 0; q < rp.P; ++q) {
+    const BlockRange o = rp.own[q];
+    double sum = 0.0;
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += b[i] * b[i];
+    bb += sum;
+  }
+  rp.allreduce_charge(1);
+  return {delta, bb};
+}
+
+/// One classical CG step on the row partition, charged at the
+/// classical per-step rates (reads A + O(n)/P, writes 4n/P per rank).
+/// @p check_den mirrors the caller: krylov::cg runs the division
+/// unconditionally, the CA-CG restart fallback bails on breakdown.
+struct StepResult {
+  double delta;
+  bool breakdown;
+};
+
+StepResult cg_step(RowPart& rp, const std::vector<HaloTransfer>& halo1,
+                   const std::vector<std::size_t>& recv1,
+                   std::span<double> x, std::vector<double>& r,
+                   std::vector<double>& p, std::vector<double>& w,
+                   double delta, bool check_den) {
+  Machine& m = rp.m;
+  const sparse::Csr& A = rp.A;
+
+  rp.exchange(halo1, 1);  // p ghosts for the spmv
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    const BlockRange o = rp.own[rank];
+    double sum = 0.0;
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
+      w[i] = kd::row_dot(A, i, p.data(), 0);
+    }
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += p[i] * w[i];
+    rp.partial[rank] = sum;
+    detail::charge_l2_transit(h, recv1[rank], m.M2(), 0);
+    detail::charge_l3_read(
+        h, rows_nnz(A, o.off, o.off + o.sz) + 3 * o.sz, m.M2());
+    detail::charge_l3_write(h, o.sz, m.M2());  // w
+  });
+  const double den = rp.allreduce(rp.partial);
+  if (check_den && (den <= 0 || !std::isfinite(den))) {
+    return {delta, true};
+  }
+  const double alpha = delta / den;
+
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    const BlockRange o = rp.own[rank];
+    double sum = 0.0;
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) x[i] += alpha * p[i];
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) r[i] -= alpha * w[i];
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += r[i] * r[i];
+    rp.partial[rank] = sum;
+    detail::charge_l3_read(h, 6 * o.sz, m.M2());
+    detail::charge_l3_write(h, 2 * o.sz, m.M2());  // x, r
+  });
+  const double delta_new = rp.allreduce(rp.partial);
+  const double beta = delta_new / delta;
+
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    const BlockRange o = rp.own[rank];
+    for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
+      p[i] = r[i] + beta * p[i];
+    }
+    detail::charge_l3_read(h, 2 * o.sz, m.M2());
+    detail::charge_l3_write(h, o.sz, m.M2());  // p
+  });
+  return {delta_new, false};
+}
+
+/// Uncharged diagnostic shared with the shared-memory solvers: the
+/// true residual of the final iterate, computed globally.
+double true_residual(const sparse::Csr& A, std::span<const double> b,
+                     std::span<const double> x) {
+  std::vector<double> ax(A.n);
+  sparse::spmv(A, x, ax);
+  double rn = 0;
+  for (std::size_t i = 0; i < A.n; ++i) {
+    const double d = b[i] - ax[i];
+    rn += d * d;
+  }
+  return std::sqrt(rn);
+}
+
+}  // namespace
+
+KrylovResult cg(Machine& m, const sparse::Csr& A, std::span<const double> b,
+                std::span<double> x, std::size_t max_iters, double tol) {
+  const std::size_t n = A.n;
+  if (b.size() != n || x.size() != n) {
+    throw std::invalid_argument("dist::cg: size mismatch");
+  }
+  RowPart rp(m, A);
+  const std::size_t bw = std::max<std::size_t>(1, A.bandwidth());
+  const auto halo1 = halo_transfers(rp.g, n, bw);
+  const auto recv1 = recv_rows(halo1, rp.P);
+
+  KrylovResult out;
+  std::vector<double> r(n), p(n), w(n);
+
+  const SetupResult init = residual_setup(rp, halo1, recv1, b, x, r, p, w);
+  double delta = init.delta;
+  const double stop = tol * tol * init.bb;
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    if (delta <= stop) {
+      out.converged = true;
+      break;
+    }
+    delta = cg_step(rp, halo1, recv1, x, r, p, w, delta,
+                    /*check_den=*/false)
+                .delta;
+    ++out.iterations;
+  }
+
+  out.residual_norm = true_residual(A, b, x);
+  if (!out.converged) {
+    out.converged = out.residual_norm <= tol * sparse::norm2(b);
+  }
+  return out;
+}
+
+KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
+                   std::span<const double> b, std::span<double> x,
+                   const CaCgOptions& opt) {
+  const std::size_t n = A.n;
+  const std::size_t s = opt.s;
+  if (s == 0) throw std::invalid_argument("dist::ca_cg: s >= 1");
+  if (b.size() != n || x.size() != n) {
+    throw std::invalid_argument("dist::ca_cg: size mismatch");
+  }
+  const std::size_t mm = 2 * s + 1;
+  const kd::BasisCoeffs bc =
+      kd::make_basis(A, s, opt.basis == CaCgBasis::kNewton);
+
+  RowPart rp(m, A);
+  const std::size_t P = rp.P;
+  const std::size_t bw = std::max<std::size_t>(1, A.bandwidth());
+  const std::size_t ext = s * bw;
+  std::size_t block_rows = opt.block_rows;
+  if (block_rows == 0) {
+    block_rows = std::max<std::size_t>(4 * s * bw, 256);
+  }
+  const auto halo1 = halo_transfers(rp.g, n, bw);
+  const auto recv1 = recv_rows(halo1, P);
+  const auto halo_s = halo_transfers(rp.g, n, ext);
+  const auto recv_s = recv_rows(halo_s, P);
+
+  KrylovResult out;
+  std::vector<double> r(n), p(n), w(n);
+
+  const SetupResult init = residual_setup(rp, halo1, recv1, b, x, r, p, w);
+  double delta = init.delta;
+  const double stop = opt.tol * opt.tol * init.bb;
+
+  std::size_t restarts = 0;
+  constexpr std::size_t kMaxRestarts = 25;
+
+  std::vector<double> x_snap(n), p_snap(n), r_snap(n);
+  std::vector<double> pn(n), rn(n);  // streaming recovery targets
+
+  // Per-rank scratch living across the basis and recovery phases of
+  // one outer iteration: the rank's extended basis (kStored only) and
+  // its Gram partial.  Indexed by rank, so concurrent phases touch
+  // disjoint slots.
+  std::vector<std::vector<std::vector<double>>> Vloc(P);
+  std::vector<kd::Small> gpart(P, kd::Small(mm));
+
+  for (std::size_t outer = 0; outer < opt.max_outer; ++outer) {
+    if (delta <= stop) {
+      out.converged = true;
+      break;
+    }
+    const double delta_enter = delta;
+    x_snap.assign(x.begin(), x.end());
+    p_snap = p;
+    r_snap = r;
+
+    kd::Small G(mm);
+    for (kd::Small& gp : gpart) std::fill(gp.a.begin(), gp.a.end(), 0.0);
+
+    // One ghost exchange of width s*bw covers every basis column of
+    // the outer iteration (the matrix-powers optimization).
+    rp.exchange(halo_s, 2);  // p and r travel together
+
+    if (opt.mode == CaCgMode::kStored) {
+      // ---- basis + Gram phase: each rank materializes all 2s+1
+      // columns of its own rows (redundantly extending into the ghost
+      // region), writing each finished own-row column to slow memory
+      // once, then accumulates its Gram partial.
+      m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+        const BlockRange o = rp.own[rank];
+        auto& W = Vloc[rank];
+        if (o.sz == 0) {
+          W.clear();
+          return;
+        }
+        const std::size_t elo = o.off >= ext ? o.off - ext : 0;
+        const std::size_t ehi = std::min(n, o.off + o.sz + ext);
+        const std::uint64_t a_words =
+            build_basis_block(A, bc, s, bw, p, r, elo, ehi, W);
+        detail::charge_l2_transit(h, 2 * recv_s[rank], m.M2(), 0);
+        detail::charge_l3_read(h, 2 * o.sz, m.M2());
+        detail::charge_l3_write(h, 2 * o.sz, m.M2());  // basis heads
+        detail::charge_l3_read(h, a_words, m.M2());
+        // Every non-head column of the rank's own rows hits slow
+        // memory once -- the Theta(n) stored-basis write stream.
+        detail::charge_l3_write(h, (2 * s - 1) * o.sz, m.M2());
+
+        kd::Small& gp = gpart[rank];
+        for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
+          const std::size_t li = i - elo;
+          for (std::size_t a = 0; a < mm; ++a) {
+            for (std::size_t c = a; c < mm; ++c) {
+              gp(a, c) += W[a][li] * W[c][li];
+            }
+          }
+        }
+        detail::charge_l3_read(h, mm * o.sz, m.M2());  // basis re-read
+      });
+    } else {
+      // ---- streaming pass 1: blockwise basis + Gram accumulation;
+      // basis blocks live in fast buffers and are discarded, so this
+      // pass writes nothing to slow memory.
+      m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+        const BlockRange o = rp.own[rank];
+        if (o.sz == 0) return;
+        detail::charge_l2_transit(h, 2 * recv_s[rank], m.M2(), 0);
+        kd::Small& gp = gpart[rank];
+        for (std::size_t lo = o.off; lo < o.off + o.sz; lo += block_rows) {
+          const std::size_t hi = std::min(o.off + o.sz, lo + block_rows);
+          const std::size_t elo = lo >= ext ? lo - ext : 0;
+          const std::size_t ehi = std::min(n, hi + ext);
+
+          std::vector<std::vector<double>> W;
+          const std::uint64_t a_words =
+              build_basis_block(A, bc, s, bw, p, r, elo, ehi, W);
+          // Slow-memory reads: the extent's overlap with the rank's
+          // own rows (adjacent own blocks re-read the overlap -- the
+          // <= 2x read amplification); ghost rows arrived by network.
+          const std::size_t rlo = std::max(elo, o.off);
+          const std::size_t rhi = std::min(ehi, o.off + o.sz);
+          detail::charge_l3_read(h, 2 * (rhi - rlo), m.M2());
+          detail::charge_l3_read(h, a_words, m.M2());
+
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t li = i - elo;
+            for (std::size_t a = 0; a < mm; ++a) {
+              for (std::size_t c = a; c < mm; ++c) {
+                gp(a, c) += W[a][li] * W[c][li];
+              }
+            }
+          }
+        }
+      });
+    }
+
+    // Allreduce of the Gram partials: combined in rank order, charged
+    // as reduce + bcast of the upper triangle.
+    for (std::size_t q = 0; q < P; ++q) {
+      for (std::size_t a = 0; a < mm; ++a) {
+        for (std::size_t c = a; c < mm; ++c) G(a, c) += gpart[q](a, c);
+      }
+    }
+    for (std::size_t a = 0; a < mm; ++a) {
+      for (std::size_t c = 0; c < a; ++c) G(a, c) = G(c, a);
+    }
+    rp.allreduce_charge(mm * (mm + 1) / 2);
+
+    // ---- inner s steps in coordinates: O(s^2) data, replicated on
+    // every rank (fast memory only, so nothing is charged).
+    std::vector<double> xh(mm, 0.0), ph(mm, 0.0), rh(mm, 0.0);
+    ph[0] = 1.0;
+    rh[s + 1] = 1.0;
+    krylov::Traffic fast;  // inner-step flops; no slow channel to charge
+    const auto inner = kd::inner_steps(s, bc, G, xh, ph, rh, delta, fast);
+    if (inner.breakdown) break;
+    out.iterations += s;
+
+    // ---- recovery: [p, r, x] = [P, R] [ph, rh, xh] + [0, 0, x].
+    if (opt.mode == CaCgMode::kStored) {
+      m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+        const BlockRange o = rp.own[rank];
+        if (o.sz == 0) return;
+        const std::size_t elo = o.off >= ext ? o.off - ext : 0;
+        const auto& W = Vloc[rank];
+        for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
+          const std::size_t li = i - elo;
+          double np = 0, nr = 0, nx = x[i];
+          for (std::size_t a = 0; a < mm; ++a) {
+            np += W[a][li] * ph[a];
+            nr += W[a][li] * rh[a];
+            nx += W[a][li] * xh[a];
+          }
+          p[i] = np;
+          r[i] = nr;
+          x[i] = nx;
+        }
+        detail::charge_l3_read(h, mm * o.sz + o.sz, m.M2());
+        detail::charge_l3_write(h, 3 * o.sz, m.M2());
+      });
+    } else {
+      // ---- streaming pass 2: recompute the basis blockwise and fuse
+      // the recovery (the <= 2x flop doubling the paper trades for
+      // the Theta(s) write reduction); only x, p, r are written.
+      m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+        const BlockRange o = rp.own[rank];
+        if (o.sz == 0) return;
+        for (std::size_t lo = o.off; lo < o.off + o.sz; lo += block_rows) {
+          const std::size_t hi = std::min(o.off + o.sz, lo + block_rows);
+          const std::size_t elo = lo >= ext ? lo - ext : 0;
+          const std::size_t ehi = std::min(n, hi + ext);
+
+          std::vector<std::vector<double>> W;
+          const std::uint64_t a_words =
+              build_basis_block(A, bc, s, bw, p, r, elo, ehi, W);
+          const std::size_t rlo = std::max(elo, o.off);
+          const std::size_t rhi = std::min(ehi, o.off + o.sz);
+          detail::charge_l3_read(h, 2 * (rhi - rlo), m.M2());
+          detail::charge_l3_read(h, a_words, m.M2());
+
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t li = i - elo;
+            double np = 0, nr = 0, nx = x[i];
+            for (std::size_t a = 0; a < mm; ++a) {
+              np += W[a][li] * ph[a];
+              nr += W[a][li] * rh[a];
+              nx += W[a][li] * xh[a];
+            }
+            pn[i] = np;
+            rn[i] = nr;
+            x[i] = nx;
+          }
+          detail::charge_l3_read(h, hi - lo, m.M2());       // x
+          detail::charge_l3_write(h, 3 * (hi - lo), m.M2());  // x, p, r
+        }
+      });
+      p.swap(pn);
+      r.swap(rn);
+    }
+
+    // Recompute delta from the *recovered* residual; a large
+    // disagreement with the coordinate-space value flags breakdown.
+    m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+      const BlockRange o = rp.own[rank];
+      double sum = 0.0;
+      for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += r[i] * r[i];
+      rp.partial[rank] = sum;
+      detail::charge_l3_read(h, 2 * o.sz, m.M2());
+    });
+    const double delta_true = rp.allreduce(rp.partial);
+
+    if (!std::isfinite(delta_true) || delta_true > 16.0 * delta_enter) {
+      // Basis breakdown: roll back this outer iteration (simulation
+      // bookkeeping, uncharged -- as in the shared-memory solver) and
+      // take the same s steps with distributed classical CG instead.
+      if (++restarts > kMaxRestarts) break;
+      out.iterations -= s;
+      std::copy(x_snap.begin(), x_snap.end(), x.begin());
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = p_snap[i];
+        r[i] = r_snap[i];
+      }
+      delta = delta_enter;
+      for (std::size_t j = 0; j < s && delta > stop; ++j) {
+        const StepResult step = cg_step(rp, halo1, recv1, x, r, p, w,
+                                        delta, /*check_den=*/true);
+        if (step.breakdown) break;
+        delta = step.delta;
+        ++out.iterations;
+      }
+      continue;
+    }
+    delta = delta_true;
+  }
+
+  out.residual_norm = true_residual(A, b, x);
+  if (!out.converged) {
+    out.converged = out.residual_norm <= opt.tol * sparse::norm2(b) * 10.0;
+  }
+  return out;
+}
+
+}  // namespace wa::dist

@@ -1,0 +1,82 @@
+#pragma once
+// wa::dist -- the Section 8 Krylov solvers on the distributed machine.
+//
+// The banded matrix and all n-vectors are row-partitioned over the
+// ProcessGrid's ranks in the balanced 1-D split (the grid is treated
+// as the flat list of its P ranks; see ProcessGrid::linear_block).
+// Every outer step exchanges ghost zones of width s * bandwidth with
+// the neighbouring ranks -- charged as point-to-point sends on the
+// Machine -- after which each rank can compute all 2s+1 basis columns
+// of its own rows locally (the matrix-powers optimization: redundant
+// flops in the ghost region instead of s round-trips).  Dot products
+// and the Gram matrix G = [P,R]^T [P,R] are per-rank partial sums
+// combined by a binomial-tree allreduce (Machine::reduce + bcast).
+//
+// The local basis/recovery phases -- real numerics plus charging --
+// run under the execution Backend seam (Machine::run_local_each), so
+// SerialSimBackend and ThreadedBackend produce byte-identical
+// per-rank counters while the threaded backend parallelizes the row
+// blocks for wall-clock speedup.
+//
+// The paper's W12 (words written to slow memory per CG step) maps to
+// the per-rank l3_write channel here, exactly as in the distributed
+// LU: per rank per CG step,
+//
+//   classical CG           4 n/P              Theta(n/P)
+//   CA-CG, kStored         (2s+4)/s * n/P     Theta(n/P)
+//   CA-CG, kStreaming      3/s * n/P          Theta(n/(P s))
+//
+// i.e. the stored-basis variant stays Theta(n) in total while the
+// streaming variant realizes the paper's Theta(s) write reduction.
+// On P = 1 both solvers are bitwise-equal to their shared-memory
+// counterparts in src/krylov/ (pinned by tests/dist_krylov_test.cpp).
+
+#include <cstddef>
+#include <span>
+
+#include "dist/grid.hpp"
+#include "dist/machine.hpp"
+#include "krylov/cacg.hpp"
+#include "sparse/csr.hpp"
+
+namespace wa::dist {
+
+/// Outcome of a distributed Krylov solve.  Traffic lives in the
+/// Machine's per-rank channel counters (W12 = l3_write), not here.
+struct KrylovResult {
+  std::size_t iterations = 0;  ///< CG steps taken (inner steps for s-step)
+  double residual_norm = 0.0;  ///< ||b - A x|| at exit
+  bool converged = false;
+};
+
+/// Distributed classical CG (Algorithm 6): row-partitioned spmv with
+/// bandwidth-wide ghost exchanges, allreduce dot products.
+KrylovResult cg(Machine& m, const sparse::Csr& A, std::span<const double> b,
+                std::span<double> x, std::size_t max_iters, double tol);
+
+/// Distributed s-step CA-CG (Algorithm 7 / §8), kStored or
+/// kStreaming, monomial or Newton basis -- semantics of the options
+/// match the shared-memory krylov::ca_cg.
+KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
+                   std::span<const double> b, std::span<double> x,
+                   const krylov::CaCgOptions& opt);
+
+/// Section 8 closed form: slow-memory words written per rank per CG
+/// step by CA-CG on the banded model problem (see file comment).
+inline double cacg_model_writes_per_step(std::size_t n, std::size_t P,
+                                         std::size_t s,
+                                         krylov::CaCgMode mode) {
+  const double per_rank = double(n) / double(P);
+  if (mode == krylov::CaCgMode::kStored) {
+    return (2.0 * double(s) + 4.0) / double(s) * per_rank;
+  }
+  return 3.0 / double(s) * per_rank;
+}
+
+/// Section 8 closed form: classical CG writes x, r, p, w once per
+/// step -- 4 n/P words per rank.
+inline double cg_model_writes_per_step(std::size_t n, std::size_t P) {
+  return 4.0 * double(n) / double(P);
+}
+
+}  // namespace wa::dist

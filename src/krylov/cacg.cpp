@@ -2,173 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
-#include <numbers>
 #include <stdexcept>
 #include <vector>
 
+#include "krylov/cacg_detail.hpp"
+
 namespace wa::krylov {
 
-namespace {
-
-/// Infinity-norm estimate used to scale the monomial basis
-/// (rho_{j+1}(A) y = A rho_j(A) y / sigma keeps columns near unit
-/// norm, which keeps the Gram matrix usable for moderate s).
-double inf_norm(const sparse::Csr& A) {
-  double m = 0;
-  for (std::size_t i = 0; i < A.n; ++i) {
-    double s = 0;
-    for (std::size_t p = A.row_ptr[i]; p < A.row_ptr[i + 1]; ++p) {
-      s += std::abs(A.values[p]);
-    }
-    m = std::max(m, s);
-  }
-  return m == 0 ? 1.0 : m;
-}
-
-/// Dense symmetric m-by-m matrix in a flat vector.
-struct Small {
-  std::size_t m;
-  std::vector<double> a;
-  explicit Small(std::size_t mm) : m(mm), a(mm * mm, 0.0) {}
-  double& operator()(std::size_t i, std::size_t j) { return a[i * m + j]; }
-  double operator()(std::size_t i, std::size_t j) const {
-    return a[i * m + j];
-  }
-};
-
-double quad(const Small& G, std::span<const double> u,
-            std::span<const double> v) {
-  double s = 0;
-  for (std::size_t i = 0; i < G.m; ++i) {
-    double t = 0;
-    for (std::size_t j = 0; j < G.m; ++j) t += G(i, j) * v[j];
-    s += u[i] * t;
-  }
-  return s;
-}
-
-/// Basis recurrence coefficients: rho_{j+1}(A) y = (A - theta_j I)
-/// rho_j(A) y / sigma.  Monomial: theta = 0; Newton: Leja-ordered
-/// Chebyshev points on the Gershgorin interval.
-struct BasisCoeffs {
-  std::vector<double> theta;  // length s
-  double sigma = 1.0;
-};
-
-BasisCoeffs make_basis(const sparse::Csr& A, std::size_t s, CaCgBasis kind) {
-  BasisCoeffs bc;
-  bc.theta.assign(s, 0.0);
-  if (kind == CaCgBasis::kMonomial) {
-    bc.sigma = inf_norm(A);
-    return bc;
-  }
-  // Gershgorin bounds.
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -lo;
-  for (std::size_t i = 0; i < A.n; ++i) {
-    double diag = 0, off = 0;
-    for (std::size_t p = A.row_ptr[i]; p < A.row_ptr[i + 1]; ++p) {
-      if (A.col_idx[p] == i) {
-        diag = A.values[p];
-      } else {
-        off += std::abs(A.values[p]);
-      }
-    }
-    lo = std::min(lo, diag - off);
-    hi = std::max(hi, diag + off);
-  }
-  const double center = 0.5 * (lo + hi);
-  const double radius = std::max(0.5 * (hi - lo), 1e-30);
-  // Chebyshev points of the interval...
-  std::vector<double> pts(s);
-  for (std::size_t k = 0; k < s; ++k) {
-    pts[k] = center +
-             radius * std::cos((2.0 * double(k) + 1.0) /
-                               (2.0 * double(s)) * std::numbers::pi);
-  }
-  // ...in Leja order (greedy max-distance-product), the standard
-  // stabilization for Newton bases.
-  std::vector<bool> used(s, false);
-  for (std::size_t j = 0; j < s; ++j) {
-    std::size_t best = s;
-    double best_val = -1;
-    for (std::size_t k = 0; k < s; ++k) {
-      if (used[k]) continue;
-      double val = j == 0 ? std::abs(pts[k]) : 1.0;
-      for (std::size_t t = 0; t < j; ++t) {
-        val *= std::abs(pts[k] - bc.theta[t]);
-      }
-      if (val > best_val) {
-        best_val = val;
-        best = k;
-      }
-    }
-    used[best] = true;
-    bc.theta[j] = pts[best];
-  }
-  bc.sigma = radius;
-  return bc;
-}
-
-/// w = H * p for the shifted basis: A [P,R](:,i) = sigma * next +
-/// theta_i * same, within both the P block (cols 0..s) and the R
-/// block (cols s+1..2s).
-void apply_h(std::size_t s, const BasisCoeffs& bc, std::span<const double> p,
-             std::span<double> w) {
-  std::fill(w.begin(), w.end(), 0.0);
-  for (std::size_t i = 0; i < s; ++i) {
-    w[i + 1] += bc.sigma * p[i];
-    w[i] += bc.theta[i] * p[i];
-  }
-  for (std::size_t i = 0; i + 1 < s; ++i) {
-    w[s + 1 + i + 1] += bc.sigma * p[s + 1 + i];
-    w[s + 1 + i] += bc.theta[i] * p[s + 1 + i];
-  }
-}
-
-/// One sparse row times a basis column, restricted reads.
-double row_dot(const sparse::Csr& A, std::size_t i, const double* col,
-               std::ptrdiff_t off) {
-  double t = 0;
-  for (std::size_t p = A.row_ptr[i]; p < A.row_ptr[i + 1]; ++p) {
-    t += A.values[p] * col[std::ptrdiff_t(A.col_idx[p]) + off];
-  }
-  return t;
-}
-
-/// Inner s-step loop shared by both modes.  Returns delta after the
-/// last step; coordinate vectors are updated in place.
-struct InnerResult {
-  double delta;
-  bool breakdown;
-};
-InnerResult inner_steps(std::size_t s, const BasisCoeffs& bc, const Small& G,
-                        std::vector<double>& xh, std::vector<double>& ph,
-                        std::vector<double>& rh, double& delta,
-                        Traffic& traffic) {
-  const std::size_t m = 2 * s + 1;
-  std::vector<double> wh(m);
-  for (std::size_t j = 0; j < s; ++j) {
-    apply_h(s, bc, ph, wh);
-    const double den = quad(G, ph, wh);
-    if (den == 0.0 || !std::isfinite(den)) return {delta, true};
-    const double alpha = delta / den;
-    for (std::size_t i = 0; i < m; ++i) {
-      xh[i] += alpha * ph[i];
-      rh[i] -= alpha * wh[i];
-    }
-    const double delta_new = quad(G, rh, rh);
-    if (!std::isfinite(delta_new)) return {delta, true};
-    const double beta = delta_new / delta;
-    delta = delta_new;
-    for (std::size_t i = 0; i < m; ++i) ph[i] = rh[i] + beta * ph[i];
-    traffic.flops += 6 * m + 4 * m * m;  // all in fast memory, O(s^2)
-  }
-  return {delta, false};
-}
-
-}  // namespace
+using detail::BasisCoeffs;
+using detail::Small;
 
 SolveResult ca_cg(const sparse::Csr& A, std::span<const double> b,
                   std::span<double> x, const CaCgOptions& opt) {
@@ -176,7 +18,8 @@ SolveResult ca_cg(const sparse::Csr& A, std::span<const double> b,
   const std::size_t s = opt.s;
   if (s == 0) throw std::invalid_argument("ca_cg: s >= 1");
   const std::size_t m = 2 * s + 1;
-  const BasisCoeffs bc = make_basis(A, s, opt.basis);
+  const BasisCoeffs bc =
+      detail::make_basis(A, s, opt.basis == CaCgBasis::kNewton);
 
   SolveResult out;
   std::vector<double> r(n), p(n), tmp(n);
@@ -289,7 +132,8 @@ SolveResult ca_cg(const sparse::Csr& A, std::span<const double> b,
           const std::size_t vhi = ehi == n ? n : ehi - level * bw;
           for (std::size_t i = vlo; i < vhi; ++i) {
             W[col_to][i - elo] =
-                (row_dot(A, i, W[col_from].data(), -std::ptrdiff_t(elo)) -
+                (detail::row_dot(A, i, W[col_from].data(),
+                                 -std::ptrdiff_t(elo)) -
                  theta * W[col_from][i - elo]) /
                 bc.sigma;
             out.traffic.slow_reads +=
@@ -323,8 +167,8 @@ SolveResult ca_cg(const sparse::Csr& A, std::span<const double> b,
     std::vector<double> xh(m, 0.0), ph(m, 0.0), rh(m, 0.0);
     ph[0] = 1.0;
     rh[s + 1] = 1.0;
-    const auto inner = inner_steps(s, bc, G, xh, ph, rh, delta,
-                                   out.traffic);
+    const auto inner = detail::inner_steps(s, bc, G, xh, ph, rh, delta,
+                                           out.traffic);
     if (inner.breakdown) break;
     out.iterations += s;
 
@@ -369,7 +213,8 @@ SolveResult ca_cg(const sparse::Csr& A, std::span<const double> b,
           const std::size_t vhi = ehi == n ? n : ehi - level * bw;
           for (std::size_t i = vlo; i < vhi; ++i) {
             W[col_to][i - elo] =
-                (row_dot(A, i, W[col_from].data(), -std::ptrdiff_t(elo)) -
+                (detail::row_dot(A, i, W[col_from].data(),
+                                 -std::ptrdiff_t(elo)) -
                  theta * W[col_from][i - elo]) /
                 bc.sigma;
             out.traffic.slow_reads +=

@@ -11,14 +11,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <random>
+#include <vector>
+
 #include "dist/cost_model.hpp"
 #include "dist/detail.hpp"
+#include "dist/krylov.hpp"
 #include "dist/lu.hpp"
 #include "dist/machine.hpp"
 #include "dist/mm25d.hpp"
 #include "dist/planner.hpp"
 #include "dist/summa.hpp"
 #include "linalg/kernels.hpp"
+#include "sparse/csr.hpp"
 
 namespace wa::dist {
 namespace {
@@ -431,6 +436,82 @@ TEST(ModelRegression, LuCountersPinnedOnNonSquareGrid) {
   EXPECT_EQ(ll.nw.messages, 20u);
   EXPECT_EQ(ll.l3_read.words, 452u);
   EXPECT_EQ(ll.l3_write.words, 140u);
+}
+
+// The Section 8 closed forms for the Krylov solvers, pinned like the
+// Table 1/2 matmul and LU models above: per rank per CG step the
+// stored-basis CA-CG writes (2s+4)/s * n/P slow-memory words
+// (Theta(n)), the streaming variant 3/s * n/P (Theta(n/s)), and
+// classical CG 4 n/P.  The measured counters additionally carry the
+// setup writes (2 n/P once) and, for CG, the allreduce combine
+// rounds; the tolerance absorbs those sub-leading terms, so genuine
+// charging drift fails here instead of only moving bench tables.
+class KrylovModelRegression
+    : public ::testing::TestWithParam<krylov::CaCgMode> {};
+
+TEST_P(KrylovModelRegression, CaCgPerRankW12MatchesSection8ClosedForm) {
+  const krylov::CaCgMode mode = GetParam();
+  const std::size_t n = 1 << 12, s = 4;
+  const auto A = sparse::stencil_1d(n, 1);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> xs(n), b(n);
+  for (auto& v : xs) v = dist(rng);
+  sparse::spmv(A, xs, b);
+
+  for (std::size_t P : {1, 4, 6}) {
+    Machine m(P, 192, 4096, 1 << 24);
+    std::vector<double> x(n, 0.0);
+    krylov::CaCgOptions opt;
+    opt.s = s;
+    opt.mode = mode;
+    opt.tol = 1e-9;
+    const auto res = ca_cg(m, A, b, x, opt);
+    ASSERT_TRUE(res.converged) << "P=" << P;
+    ASSERT_GT(res.iterations, 0u);
+
+    const double model =
+        cacg_model_writes_per_step(n, P, s, mode) * double(res.iterations);
+    // Max-over-ranks measured writes, less the one-time setup charge
+    // (r and p materialized once: 2 words per owned row; the critical
+    // path is a ceil-share rank), leaving the pure per-step stream.
+    const double setup = 2.0 * std::ceil(double(n) / double(P));
+    const double meas =
+        double(m.critical_path().l3_write.words) - setup;
+    EXPECT_NEAR(meas, model, 0.15 * model) << "P=" << P;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, KrylovModelRegression,
+                         ::testing::Values(krylov::CaCgMode::kStored,
+                                           krylov::CaCgMode::kStreaming),
+                         [](const auto& info) {
+                           return info.param == krylov::CaCgMode::kStored
+                                      ? "stored"
+                                      : "streaming";
+                         });
+
+TEST(ModelRegression, DistCgPerRankW12MatchesClassicalRate) {
+  const std::size_t n = 1 << 12;
+  const auto A = sparse::stencil_1d(n, 1);
+  std::mt19937_64 rng(8);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> xs(n), b(n);
+  for (auto& v : xs) v = dist(rng);
+  sparse::spmv(A, xs, b);
+
+  for (std::size_t P : {1, 4, 6}) {
+    Machine m(P, 192, 4096, 1 << 24);
+    std::vector<double> x(n, 0.0);
+    const auto res = cg(m, A, b, x, 4000, 1e-9);
+    ASSERT_TRUE(res.converged) << "P=" << P;
+    const double model =
+        cg_model_writes_per_step(n, P) * double(res.iterations);
+    // l3_write carries the vector stream; the CG allreduces charge
+    // their combines to l2_write, keeping the channels separable.
+    const double meas = double(m.critical_path().l3_write.words);
+    EXPECT_NEAR(meas, model, 0.15 * model) << "P=" << P;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,334 @@
+// The distributed Section 8 Krylov solvers (dist/krylov.hpp): the
+// 1-D row partition and ghost-exchange geometry, bitwise equality
+// with the shared-memory solvers on P = 1, residual parity on ragged
+// rank counts, serial-vs-threaded counter identity, and the exact
+// Theta(s) write reduction of the streaming matrix-powers variant.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "dist/backend.hpp"
+#include "dist/krylov.hpp"
+#include "dist/machine.hpp"
+#include "krylov/cacg.hpp"
+#include "krylov/cg.hpp"
+#include "sparse/csr.hpp"
+
+namespace wa::dist {
+namespace {
+
+using krylov::CaCgBasis;
+using krylov::CaCgMode;
+using krylov::CaCgOptions;
+
+Machine make_machine(std::size_t P,
+                     std::unique_ptr<Backend> backend = nullptr) {
+  return Machine(P, 192, 4096, 1 << 24, HwParams{}, std::move(backend));
+}
+
+/// Deterministic SPD test system: a (2b+1)-point stencil with a
+/// random smooth solution.
+struct Problem {
+  sparse::Csr A;
+  std::vector<double> b;
+  std::vector<double> x_true;
+};
+
+Problem make_problem(std::size_t n, unsigned bw, unsigned seed) {
+  Problem prob;
+  prob.A = sparse::stencil_1d(n, bw);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  prob.x_true.resize(n);
+  for (auto& v : prob.x_true) v = dist(rng);
+  prob.b.resize(n);
+  sparse::spmv(prob.A, prob.x_true, prob.b);
+  return prob;
+}
+
+// ---- 1-D partition + halo geometry --------------------------------------
+
+TEST(RowPartition, LinearOwnerInvertsLinearBlock) {
+  for (std::size_t P : {1, 4, 6, 7}) {
+    const ProcessGrid g(P);
+    for (std::size_t n : {1, 5, 26, 130}) {
+      for (std::size_t p = 0; p < P; ++p) {
+        const BlockRange o = g.linear_block(n, p);
+        for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
+          EXPECT_EQ(g.linear_owner(n, i), p) << "n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Halo, TransfersClipAtDomainEdges) {
+  const ProcessGrid g(4);
+  // n = 12, ghost 2: interior ranks exchange 2 rows with each
+  // neighbour; the first and last rank have one one-sided zone only.
+  const auto hs = halo_transfers(g, 12, 2);
+  std::size_t total = 0;
+  for (const auto& t : hs) {
+    EXPECT_NE(t.src, t.dst);
+    total += t.rows;
+  }
+  // Each of the 3 internal boundaries moves 2 rows in each direction.
+  EXPECT_EQ(total, 3u * 2u * 2u);
+}
+
+TEST(Halo, WideGhostSpillsAcrossSeveralRanks) {
+  const ProcessGrid g(4);
+  // n = 8 (blocks of 2), ghost 3 > block size: rank 0's lower ghost
+  // zone [2, 5) spans ranks 1 and 2.
+  const auto hs = halo_transfers(g, 8, 3);
+  std::size_t to0_from1 = 0, to0_from2 = 0;
+  for (const auto& t : hs) {
+    if (t.dst == 0 && t.src == 1) to0_from1 += t.rows;
+    if (t.dst == 0 && t.src == 2) to0_from2 += t.rows;
+  }
+  EXPECT_EQ(to0_from1, 2u);
+  EXPECT_EQ(to0_from2, 1u);
+}
+
+TEST(Halo, EmptyForSingleRankOrZeroGhost) {
+  EXPECT_TRUE(halo_transfers(ProcessGrid(1), 100, 5).empty());
+  EXPECT_TRUE(halo_transfers(ProcessGrid(4), 100, 0).empty());
+}
+
+// ---- P = 1 bitwise equality with the shared-memory solvers --------------
+
+TEST(DistCg, BitwiseEqualSharedMemoryOnP1) {
+  const auto prob = make_problem(97, 1, 11);
+  std::vector<double> x_shared(prob.A.n, 0.0), x_dist(prob.A.n, 0.0);
+
+  const auto ref = krylov::cg(prob.A, prob.b, x_shared, 500, 1e-10);
+  Machine m = make_machine(1);
+  const auto got = dist::cg(m, prob.A, prob.b, x_dist, 500, 1e-10);
+
+  EXPECT_EQ(got.iterations, ref.iterations);
+  EXPECT_EQ(got.converged, ref.converged);
+  EXPECT_DOUBLE_EQ(got.residual_norm, ref.residual_norm);
+  EXPECT_EQ(std::memcmp(x_shared.data(), x_dist.data(),
+                        prob.A.n * sizeof(double)),
+            0);
+}
+
+struct CaseP1 {
+  CaCgMode mode;
+  CaCgBasis basis;
+  std::size_t s;
+  const char* name;
+};
+
+class DistCaCgP1 : public ::testing::TestWithParam<CaseP1> {};
+
+TEST_P(DistCaCgP1, IteratesBitwiseEqualSharedMemory) {
+  const auto& tc = GetParam();
+  const auto prob = make_problem(130, 2, 13);
+  std::vector<double> x_shared(prob.A.n, 0.0), x_dist(prob.A.n, 0.0);
+
+  CaCgOptions opt;
+  opt.s = tc.s;
+  opt.mode = tc.mode;
+  opt.basis = tc.basis;
+  opt.tol = 1e-10;
+  opt.max_outer = 500;
+
+  const auto ref = krylov::ca_cg(prob.A, prob.b, x_shared, opt);
+  Machine m = make_machine(1);
+  const auto got = dist::ca_cg(m, prob.A, prob.b, x_dist, opt);
+
+  EXPECT_EQ(got.iterations, ref.iterations);
+  EXPECT_EQ(got.converged, ref.converged);
+  EXPECT_DOUBLE_EQ(got.residual_norm, ref.residual_norm);
+  EXPECT_EQ(std::memcmp(x_shared.data(), x_dist.data(),
+                        prob.A.n * sizeof(double)),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndBases, DistCaCgP1,
+    ::testing::Values(
+        CaseP1{CaCgMode::kStored, CaCgBasis::kMonomial, 4, "stored_monomial"},
+        CaseP1{CaCgMode::kStreaming, CaCgBasis::kMonomial, 4,
+               "streaming_monomial"},
+        CaseP1{CaCgMode::kStored, CaCgBasis::kNewton, 4, "stored_newton"},
+        CaseP1{CaCgMode::kStreaming, CaCgBasis::kNewton, 4,
+               "streaming_newton"},
+        CaseP1{CaCgMode::kStreaming, CaCgBasis::kMonomial, 2,
+               "streaming_s2"},
+        CaseP1{CaCgMode::kStreaming, CaCgBasis::kMonomial, 8,
+               "streaming_s8"}),
+    [](const auto& info) { return info.param.name; });
+
+// ---- residual parity across processor counts ----------------------------
+
+TEST(DistCaCg, ResidualParityOnRaggedRankCounts) {
+  // n = 130 is indivisible by 4, 6, and 7, so every multi-rank run
+  // has uneven blocks; the iterates drift by allreduce rounding only
+  // and every P must converge to the same solution.
+  const auto prob = make_problem(130, 1, 17);
+  const double tol = 1e-9;
+  const double bnorm = sparse::norm2(prob.b);
+
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    for (std::size_t P : {1, 4, 6, 7}) {
+      Machine m = make_machine(P);
+      std::vector<double> x(prob.A.n, 0.0);
+      CaCgOptions opt;
+      opt.s = 4;
+      opt.tol = tol;
+      opt.mode = mode;
+      const auto res = dist::ca_cg(m, prob.A, prob.b, x, opt);
+      EXPECT_TRUE(res.converged) << "P=" << P;
+      EXPECT_LE(res.residual_norm, 10.0 * tol * bnorm) << "P=" << P;
+      double err = 0;
+      for (std::size_t i = 0; i < prob.A.n; ++i) {
+        err = std::max(err, std::abs(x[i] - prob.x_true[i]));
+      }
+      EXPECT_LT(err, 1e-6) << "P=" << P;
+    }
+  }
+}
+
+TEST(DistCg, ResidualParityOnRaggedRankCounts) {
+  const auto prob = make_problem(130, 1, 19);
+  const double tol = 1e-9;
+  for (std::size_t P : {1, 4, 6, 7}) {
+    Machine m = make_machine(P);
+    std::vector<double> x(prob.A.n, 0.0);
+    const auto res = dist::cg(m, prob.A, prob.b, x, 2000, tol);
+    EXPECT_TRUE(res.converged) << "P=" << P;
+    EXPECT_LE(res.residual_norm, tol * sparse::norm2(prob.b) * 10.0)
+        << "P=" << P;
+  }
+}
+
+// ---- backend determinism ------------------------------------------------
+
+struct BackendCase {
+  std::size_t P, n;
+  CaCgMode mode;
+  const char* name;
+};
+
+class KrylovBackends : public ::testing::TestWithParam<BackendCase> {};
+
+TEST_P(KrylovBackends, CountersAndBitsIdenticalSerialVsThreaded) {
+  const auto& tc = GetParam();
+  const auto prob = make_problem(tc.n, 2, 23);
+  CaCgOptions opt;
+  opt.s = 4;
+  opt.mode = tc.mode;
+  opt.tol = 1e-9;
+
+  Machine serial = make_machine(tc.P, std::make_unique<SerialSimBackend>());
+  std::vector<double> x_serial(tc.n, 0.0);
+  const auto rs = dist::ca_cg(serial, prob.A, prob.b, x_serial, opt);
+
+  Machine threaded = make_machine(tc.P, std::make_unique<ThreadedBackend>(4));
+  std::vector<double> x_threaded(tc.n, 0.0);
+  const auto rt = dist::ca_cg(threaded, prob.A, prob.b, x_threaded, opt);
+
+  EXPECT_EQ(rs.iterations, rt.iterations);
+  EXPECT_EQ(std::memcmp(x_serial.data(), x_threaded.data(),
+                        tc.n * sizeof(double)),
+            0);
+  for (std::size_t p = 0; p < tc.P; ++p) {
+    const ProcTraffic& a = serial.proc(p);
+    const ProcTraffic& c = threaded.proc(p);
+    const auto eq = [&](const ChanCount& u, const ChanCount& v,
+                        const char* ch) {
+      EXPECT_EQ(u.words, v.words) << "proc " << p << " " << ch;
+      EXPECT_EQ(u.messages, v.messages) << "proc " << p << " " << ch;
+    };
+    eq(a.nw, c.nw, "nw");
+    eq(a.l3_read, c.l3_read, "l3_read");
+    eq(a.l3_write, c.l3_write, "l3_write");
+    eq(a.l2_read, c.l2_read, "l2_read");
+    eq(a.l2_write, c.l2_write, "l2_write");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, KrylovBackends,
+    ::testing::Values(
+        BackendCase{1, 61, CaCgMode::kStreaming, "single_rank"},
+        BackendCase{4, 130, CaCgMode::kStored, "P4_stored"},
+        BackendCase{6, 130, CaCgMode::kStreaming, "P6_streaming"},
+        BackendCase{7, 93, CaCgMode::kStreaming, "prime_P"}),
+    [](const auto& info) { return info.param.name; });
+
+// ---- the Theta(s) write reduction, pinned exactly -----------------------
+
+std::uint64_t total_l3_writes(const Machine& m) {
+  std::uint64_t sum = 0;
+  for (std::size_t p = 0; p < m.nprocs(); ++p) {
+    sum += m.proc(p).l3_write.words;
+  }
+  return sum;
+}
+
+TEST(DistCaCg, StreamingWritesAreStoredWritesOverThetaS) {
+  // Both modes run bitwise-identical iterates (the basis values do
+  // not depend on the storage schedule), so with no restarts the
+  // totals obey exactly:
+  //   stored    = 2n + outers * (2s+4) n     (setup + bases + recovery)
+  //   streaming = 2n + outers * 3 n          (setup + x,p,r only)
+  // i.e. (streaming - 2n) * (2s+4) == (stored - 2n) * 3 -- the
+  // paper's Theta(s) reduction as an exact integer identity.
+  const std::size_t n = 130, P = 4, s = 4;
+  const auto prob = make_problem(n, 1, 29);
+  CaCgOptions opt;
+  opt.s = s;
+  opt.tol = 1e-9;
+
+  opt.mode = CaCgMode::kStored;
+  Machine m_stored = make_machine(P);
+  std::vector<double> x1(n, 0.0);
+  const auto r_stored = dist::ca_cg(m_stored, prob.A, prob.b, x1, opt);
+
+  opt.mode = CaCgMode::kStreaming;
+  Machine m_stream = make_machine(P);
+  std::vector<double> x2(n, 0.0);
+  const auto r_stream = dist::ca_cg(m_stream, prob.A, prob.b, x2, opt);
+
+  ASSERT_TRUE(r_stored.converged);
+  ASSERT_EQ(r_stored.iterations, r_stream.iterations);
+  ASSERT_EQ(r_stored.iterations % s, 0u) << "a restart would break the pin";
+  const std::uint64_t outers = r_stored.iterations / s;
+
+  const std::uint64_t stored = total_l3_writes(m_stored);
+  const std::uint64_t stream = total_l3_writes(m_stream);
+  EXPECT_EQ(stored, 2 * n + outers * (2 * s + 4) * n);
+  EXPECT_EQ(stream, 2 * n + outers * 3 * n);
+  EXPECT_EQ((stream - 2 * n) * (2 * s + 4), (stored - 2 * n) * 3);
+}
+
+TEST(DistCaCg, GhostWordsScaleWithSNotN) {
+  // The per-outer network volume of the basis exchange is 2 vectors
+  // x 2 zones x s*bw rows per interior rank -- independent of n.
+  const std::size_t s = 4, P = 4;
+  const auto count_nw = [&](std::size_t n) {
+    const auto prob = make_problem(n, 1, 31);
+    Machine m = make_machine(P);
+    std::vector<double> x(n, 0.0);
+    CaCgOptions opt;
+    opt.s = s;
+    opt.tol = 1e-8;
+    opt.max_outer = 1;  // exactly one outer iteration
+    dist::ca_cg(m, prob.A, prob.b, x, opt);
+    // Interior rank 1 receives and sends both zones.
+    return m.proc(1).nw.words;
+  };
+  // Doubling n must not change the ghost volume; only the (fixed
+  // size) allreduces and the s*bw zones appear on the wire.
+  EXPECT_EQ(count_nw(256), count_nw(512));
+}
+
+}  // namespace
+}  // namespace wa::dist
