@@ -59,7 +59,22 @@ def main(argv: list[str]) -> int:
     args = argv[1:]
     tol = 0.05
     if args and args[0] == "--tol":
-        tol = float(args[1])
+        # Garbage tolerances exit 2 with a usage message, matching the
+        # strict WA_* env-parsing convention of the C++ benches, instead
+        # of dying with an unhandled ValueError traceback.
+        if len(args) < 2:
+            print("check_drift.py: --tol needs a value", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
+        try:
+            tol = float(args[1])
+        except ValueError:
+            tol = float("nan")
+        if not tol >= 0:  # also rejects NaN
+            print(f"check_drift.py: --tol must be a non-negative number, "
+                  f"got '{args[1]}'", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            return 2
         args = args[2:]
     if len(args) < 2:
         print(__doc__, file=sys.stderr)

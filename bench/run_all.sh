@@ -58,10 +58,12 @@ if [ -x "$BUILD_DIR/bench/bench_lu" ]; then
   rm -f "$log"
 fi
 
-# The distributed Krylov sweep runs under *both* execution backends
-# and on a non-power-of-two processor count (ragged 1-D row blocks,
-# ghost zones spanning uneven neighbours) on every smoke run,
-# whatever WA_BACKEND the caller chose above.
+# The distributed Krylov sweeps -- the 1-D s-sweep AND the 1-D-vs-2-D
+# partition sweep on stencil_2d/poisson_3d (face+corner halo
+# exchanges, aspect-fitting grids) -- run under *both* execution
+# backends and on a non-power-of-two processor count (ragged row
+# blocks and tiles, ghost zones spanning uneven neighbours) on every
+# smoke run, whatever WA_BACKEND the caller chose above.
 if [ -x "$BUILD_DIR/bench/bench_krylov" ]; then
   for be in serial threaded; do
     printf '== bench_krylov (WA_BACKEND=%s WA_PROCS=6) ==\n' "$be"

@@ -261,6 +261,55 @@ inline std::vector<HaloTransfer> halo_transfers(const ProcessGrid& g,
   return out;
 }
 
+/// Size of the intersection of half-open intervals [lo1, hi1) and
+/// [lo2, hi2).
+inline std::size_t interval_overlap(std::size_t lo1, std::size_t hi1,
+                                    std::size_t lo2, std::size_t hi2) {
+  const std::size_t lo = std::max(lo1, lo2);
+  const std::size_t hi = std::min(hi1, hi2);
+  return hi > lo ? hi - lo : 0;
+}
+
+/// Shipments of a depth-@p ghost exchange over the 2-D block
+/// partition of an nx-by-ny node mesh: grid rank (i, j) owns the tile
+/// row_block(ny, i) x col_block(nx, j), and its ghost region is the
+/// tile dilated by @p ghost nodes per side -- faces AND corners, since
+/// the powers of a (2b+1)^2 box stencil consume the full dilated box
+/// -- clipped at the mesh edges.  Every ghost node is shipped once by
+/// the rank owning it, so the list is correct for ragged P (uneven
+/// tiles), nx/ny indivisible by the grid edges, and ghost widths
+/// spilling across several tiles; empty tiles request and ship
+/// nothing.  `rows` counts mesh nodes (a layered 3-D partition scales
+/// each shipment by its nz pencils).
+inline std::vector<HaloTransfer> halo_transfers_2d(const ProcessGrid& g,
+                                                   std::size_t nx,
+                                                   std::size_t ny,
+                                                   std::size_t ghost) {
+  std::vector<HaloTransfer> out;
+  if (ghost == 0) return out;
+  const std::size_t P = g.size();
+  std::vector<BlockRange> tx(P), ty(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    ty[p] = g.row_block(ny, g.row_of(p));
+    tx[p] = g.col_block(nx, g.col_of(p));
+  }
+  for (std::size_t p = 0; p < P; ++p) {
+    if (tx[p].sz == 0 || ty[p].sz == 0) continue;
+    const std::size_t ex0 = tx[p].off >= ghost ? tx[p].off - ghost : 0;
+    const std::size_t ex1 = std::min(nx, tx[p].off + tx[p].sz + ghost);
+    const std::size_t ey0 = ty[p].off >= ghost ? ty[p].off - ghost : 0;
+    const std::size_t ey1 = std::min(ny, ty[p].off + ty[p].sz + ghost);
+    for (std::size_t q = 0; q < P; ++q) {
+      if (q == p) continue;  // own tile is interior to the dilated box
+      const std::size_t nodes =
+          interval_overlap(ex0, ex1, tx[q].off, tx[q].off + tx[q].sz) *
+          interval_overlap(ey0, ey1, ty[q].off, ty[q].off + ty[q].sz);
+      if (nodes > 0) out.push_back(HaloTransfer{q, p, nodes});
+    }
+  }
+  return out;
+}
+
 /// 3-D process topology for the 2.5D algorithms: @p c replicated
 /// layers of a ProcessGrid over P/c ranks.  Rank of (i, j, l) is
 /// l * (P/c) + layer rank, so layer 0 is the "home" layer holding the

@@ -19,6 +19,7 @@ using krylov::CaCgMode;
 using krylov::CaCgOptions;
 
 std::size_t rows_nnz(const sparse::Csr& A, std::size_t lo, std::size_t hi) {
+  if (hi <= lo) return 0;  // clamped-empty validity window
   return A.row_ptr[hi] - A.row_ptr[lo];
 }
 
@@ -30,30 +31,132 @@ std::vector<std::size_t> recv_rows(const std::vector<HaloTransfer>& halos,
   return r;
 }
 
-/// The balanced 1-D row partition both solvers run on, plus its ghost
-/// and allreduce plumbing.  Partial dot products are combined in rank
-/// order on the calling thread (deterministic under every backend,
-/// and exactly the full-range sum when P = 1, which is what pins the
-/// P = 1 runs bitwise-equal to the shared-memory solvers).
-struct RowPart {
+/// Apply fn(glo, ghi) to each maximal globally-contiguous row run of
+/// box @p b -- one run per (z, y) mesh line, a single run for the 1-D
+/// partition's linear boxes.  Runs ascend in global index, so
+/// rank-ordered partial sums are deterministic and, on the 1-D
+/// partition, identical to the PR 4 row loops.
+template <class Fn>
+void for_each_run(const Partition& part, const NodeBox& b, Fn&& fn) {
+  if (b.empty()) return;
+  for (std::size_t z = b.z0; z < b.z1; ++z) {
+    for (std::size_t y = b.y0; y < b.y1; ++y) {
+      const std::size_t base = part.global_index(0, y, z);
+      fn(base + b.x0, base + b.x1);
+    }
+  }
+}
+
+/// Same, with the local index of glo inside the enclosing extent box
+/// @p ebox as a third argument (the slot basis columns of the extent
+/// are stored at).
+template <class Fn>
+void for_each_run_local(const Partition& part, const NodeBox& b,
+                        const NodeBox& ebox, Fn&& fn) {
+  if (b.empty()) return;
+  const std::size_t w = ebox.dx(), h = ebox.dy();
+  for (std::size_t z = b.z0; z < b.z1; ++z) {
+    for (std::size_t y = b.y0; y < b.y1; ++y) {
+      const std::size_t base = part.global_index(0, y, z);
+      const std::size_t lbase =
+          ((z - ebox.z0) * h + (y - ebox.y0)) * w + (b.x0 - ebox.x0);
+      fn(base + b.x0, base + b.x1, lbase);
+    }
+  }
+}
+
+/// A-words (values + cols) of every row of box @p b.
+std::size_t box_nnz(const sparse::Csr& A, const Partition& part,
+                    const NodeBox& b) {
+  std::size_t words = 0;
+  for_each_run(part, b,
+               [&](std::size_t lo, std::size_t hi) { words += rows_nnz(A, lo, hi); });
+  return words;
+}
+
+/// True when walking box @p b in (z, y, x) order visits consecutive
+/// global rows, i.e. local index == global index - origin.  Then the
+/// basis recurrence can read neighbours through a constant offset
+/// (kd::row_dot), which keeps the 1-D path bitwise-identical to the
+/// shared-memory solvers and fast.
+bool box_is_linear(const Partition& part, const NodeBox& b) {
+  const bool full_x = b.x0 == 0 && b.x1 == part.nx();
+  const bool full_y = b.y0 == 0 && b.y1 == part.ny();
+  if (b.dz() > 1 && !(full_x && full_y)) return false;
+  if (b.dy() > 1 && !full_x) return false;
+  return true;
+}
+
+/// The extent of one streaming chunk: the chunk box dilated by the
+/// basis depth, exactly as Partition::extended dilates whole owned
+/// boxes (same dilate_box).
+NodeBox dilate_clipped(const Partition& part, const NodeBox& b,
+                       std::size_t depth) {
+  return dilate_box(b, depth, part.nx(), part.ny(), part.nz());
+}
+
+/// Owned box @p o split into streaming chunks of ~@p block_rows owned
+/// words: along x for linear boxes (exactly the PR 4 row blocks),
+/// along y otherwise (whole tile lines with their nz pencils).
+std::vector<NodeBox> stream_chunks(const Partition& part, const NodeBox& o,
+                                   std::size_t block_rows) {
+  std::vector<NodeBox> out;
+  if (o.empty()) return out;
+  if (part.ny() == 1 && part.nz() == 1) {
+    for (std::size_t lo = o.x0; lo < o.x1; lo += block_rows) {
+      NodeBox c = o;
+      c.x0 = lo;
+      c.x1 = std::min(o.x1, lo + block_rows);
+      out.push_back(c);
+    }
+    return out;
+  }
+  const std::size_t line = std::max<std::size_t>(1, o.dx() * o.dz());
+  const std::size_t ych = std::max<std::size_t>(1, block_rows / line);
+  for (std::size_t lo = o.y0; lo < o.y1; lo += ych) {
+    NodeBox c = o;
+    c.y0 = lo;
+    c.y1 = std::min(o.y1, lo + ych);
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// The partition a solve runs on, plus its ghost and allreduce
+/// plumbing.  Partial dot products are combined in rank order on the
+/// calling thread (deterministic under every backend, and exactly the
+/// full-range sum when P = 1, which is what pins the P = 1 runs
+/// bitwise-equal to the shared-memory solvers).
+struct PartRun {
   Machine& m;
   const sparse::Csr& A;
-  ProcessGrid g;
+  const Partition& part;
   std::size_t P;
   std::vector<std::size_t> group;
-  std::vector<BlockRange> own;
+  std::vector<NodeBox> own;
+  std::vector<std::size_t> own_sz;
   std::vector<double> partial;
 
-  RowPart(Machine& mm, const sparse::Csr& a)
-      : m(mm), A(a), g(mm.nprocs()), P(g.size()), group(g.linear_group()),
-        own(P), partial(P, 0.0) {
-    for (std::size_t p = 0; p < P; ++p) own[p] = g.linear_block(A.n, p);
+  PartRun(Machine& mm, const sparse::Csr& a, const Partition& pt)
+      : m(mm), A(a), part(pt), P(pt.ranks()), group(pt.group()), own(P),
+        own_sz(P), partial(P, 0.0) {
+    if (pt.ranks() != mm.nprocs()) {
+      throw std::invalid_argument(
+          "dist: partition rank count differs from the machine's P");
+    }
+    if (pt.nodes() != a.n) {
+      throw std::invalid_argument("dist: partition does not cover the matrix");
+    }
+    for (std::size_t p = 0; p < P; ++p) {
+      own[p] = pt.owned(p);
+      own_sz[p] = own[p].volume();
+    }
   }
 
-  /// Ghost exchange of @p vecs row-partitioned vectors: owners read
-  /// the shipped boundary rows from slow memory once, then every
+  /// Ghost exchange of @p vecs partitioned vectors: owners read the
+  /// shipped boundary nodes from slow memory once, then every
   /// transfer is a neighbour send charged to both endpoints.  The
-  /// received rows stay in the consumer's fast memory (charged as L2
+  /// received nodes stay in the consumer's fast memory (charged as L2
   /// transit where they are used), so ghosts never inflate W12.
   void exchange(const std::vector<HaloTransfer>& halos, std::size_t vecs) {
     if (halos.empty()) return;
@@ -75,45 +178,94 @@ struct RowPart {
   }
 
   /// Combine the per-rank partials and charge a one-word allreduce.
-  double allreduce(const std::vector<double>& part) {
+  double allreduce(const std::vector<double>& part_sums) {
     double sum = 0.0;
-    for (std::size_t p = 0; p < P; ++p) sum += part[p];
+    for (std::size_t p = 0; p < P; ++p) sum += part_sums[p];
     allreduce_charge(1);
     return sum;
   }
 };
 
-/// Fill @p W with the 2s+1 basis columns over the extent [elo, ehi):
+/// Fill @p W with the 2s+1 basis columns over the extent box @p ebox:
 /// heads copied from p and r, then the shifted recurrence with
-/// per-level shrinking validity (rows computable inside the extent).
-/// Returns the A-words (values + cols of every computed row) the
-/// caller charges as slow reads.  One definition serves the stored
-/// phase and both streaming passes, so their arithmetic -- and the
-/// bitwise pins built on it -- cannot drift apart.
-std::uint64_t build_basis_block(const sparse::Csr& A,
-                                const kd::BasisCoeffs& bc, std::size_t s,
-                                std::size_t bw, const std::vector<double>& p,
-                                const std::vector<double>& r,
-                                std::size_t elo, std::size_t ehi,
-                                std::vector<std::vector<double>>& W) {
-  const std::size_t n = A.n;
-  W.assign(2 * s + 1, std::vector<double>(ehi - elo, 0.0));
-  for (std::size_t i = elo; i < ehi; ++i) {
-    W[0][i - elo] = p[i];
-    W[s + 1][i - elo] = r[i];
+/// per-level per-axis shrinking validity (basis_valid_window: nodes
+/// computable inside the extent, clamped at mesh edges, clamped empty
+/// instead of inverting).  Returns the A-words (values + cols of
+/// every computed row) the caller charges as slow reads.  One
+/// definition serves the stored phase and both streaming passes, so
+/// their arithmetic -- and the bitwise pins built on it -- cannot
+/// drift apart.  With @p reuse the caller's buffers are recycled
+/// (never read before being written: heads cover the whole extent,
+/// and Gram/recovery only read owned nodes, valid in every column).
+std::uint64_t build_basis_box(const sparse::Csr& A, const Partition& part,
+                              const kd::BasisCoeffs& bc, std::size_t s,
+                              const std::vector<double>& p,
+                              const std::vector<double>& r,
+                              const NodeBox& ebox,
+                              std::vector<std::vector<double>>& W,
+                              bool reuse) {
+  const std::size_t mm = 2 * s + 1;
+  const std::size_t len = ebox.volume();
+  if (reuse) {
+    W.resize(mm);
+    for (auto& col : W) col.resize(len);
+  } else {
+    W.assign(mm, std::vector<double>(len, 0.0));
   }
+  for_each_run_local(part, ebox, ebox,
+                     [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+                       for (std::size_t i = glo; i < ghi; ++i) {
+                         W[0][lb + i - glo] = p[i];
+                         W[s + 1][lb + i - glo] = r[i];
+                       }
+                     });
+
+  const bool linear = box_is_linear(part, ebox);
+  const std::size_t nx = part.nx(), ny = part.ny(), nz = part.nz();
+  const std::size_t rad = part.radius();
+  const std::size_t plane = nx * ny;
   std::uint64_t a_words = 0;
   const auto advance = [&](std::size_t from, std::size_t to,
                            std::size_t level, double theta) {
-    const std::size_t vlo = elo == 0 ? 0 : elo + level * bw;
-    const std::size_t vhi = ehi == n ? n : ehi - level * bw;
-    for (std::size_t i = vlo; i < vhi; ++i) {
-      W[to][i - elo] =
-          (kd::row_dot(A, i, W[from].data(), -std::ptrdiff_t(elo)) -
-           theta * W[from][i - elo]) /
-          bc.sigma;
-    }
-    a_words += 2 * rows_nnz(A, vlo, vhi);  // A values + cols
+    const BlockRange vx = basis_valid_window(ebox.x0, ebox.x1, nx, level, rad);
+    const BlockRange vy = basis_valid_window(ebox.y0, ebox.y1, ny, level, rad);
+    const BlockRange vz = basis_valid_window(ebox.z0, ebox.z1, nz, level, rad);
+    const NodeBox v{vx.off, vx.off + vx.sz, vy.off, vy.off + vy.sz,
+                    vz.off, vz.off + vz.sz};
+    if (v.empty()) return;
+    const double* fc = W[from].data();
+    double* tc = W[to].data();
+    for_each_run_local(
+        part, v, ebox,
+        [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+          if (linear) {
+            // local == global - origin over the whole box: the PR 4
+            // constant-offset row dot, bitwise-identical to spmv.
+            const std::ptrdiff_t off =
+                std::ptrdiff_t(lb) - std::ptrdiff_t(glo);
+            for (std::size_t i = glo; i < ghi; ++i) {
+              tc[lb + i - glo] =
+                  (kd::row_dot(A, i, fc, off) - theta * fc[lb + i - glo]) /
+                  bc.sigma;
+            }
+          } else {
+            for (std::size_t i = glo; i < ghi; ++i) {
+              double t = 0;
+              for (std::size_t q = A.row_ptr[i]; q < A.row_ptr[i + 1]; ++q) {
+                const std::size_t j = A.col_idx[q];
+                const std::size_t jz = j / plane, rem = j - jz * plane;
+                const std::size_t jy = rem / nx, jx = rem - jy * nx;
+                t += A.values[q] *
+                     fc[((jz - ebox.z0) * ebox.dy() + (jy - ebox.y0)) *
+                            ebox.dx() +
+                        (jx - ebox.x0)];
+              }
+              tc[lb + i - glo] =
+                  (t - theta * fc[lb + i - glo]) / bc.sigma;
+            }
+          }
+          a_words += 2 * rows_nnz(A, glo, ghi);  // A values + cols
+        });
   };
   for (std::size_t j = 0; j < s; ++j) {
     advance(j, j + 1, j + 1, bc.theta[j]);
@@ -133,7 +285,7 @@ struct SetupResult {
   double bb;
 };
 
-SetupResult residual_setup(RowPart& rp,
+SetupResult residual_setup(PartRun& rp,
                            const std::vector<HaloTransfer>& halo1,
                            const std::vector<std::size_t>& recv1,
                            std::span<const double> b, std::span<double> x,
@@ -144,42 +296,48 @@ SetupResult residual_setup(RowPart& rp,
 
   rp.exchange(halo1, 1);
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const BlockRange o = rp.own[rank];
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
-      w[i] = kd::row_dot(A, i, x.data(), 0);
-    }
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
-      r[i] = b[i] - w[i];
-      p[i] = r[i];
-    }
+    const NodeBox& o = rp.own[rank];
+    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        w[i] = kd::row_dot(A, i, x.data(), 0);
+      }
+    });
+    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        r[i] = b[i] - w[i];
+        p[i] = r[i];
+      }
+    });
     detail::charge_l2_transit(h, recv1[rank], m.M2(), 0);
-    detail::charge_l3_read(
-        h, rows_nnz(A, o.off, o.off + o.sz) + 3 * o.sz, m.M2());
-    detail::charge_l3_write(h, 2 * o.sz, m.M2());
+    detail::charge_l3_read(h, box_nnz(A, rp.part, o) + 3 * rp.own_sz[rank],
+                           m.M2());
+    detail::charge_l3_write(h, 2 * rp.own_sz[rank], m.M2());
   });
 
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const BlockRange o = rp.own[rank];
     double sum = 0.0;
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += r[i] * r[i];
+    for_each_run(rp.part, rp.own[rank], [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) sum += r[i] * r[i];
+    });
     rp.partial[rank] = sum;
-    detail::charge_l3_read(h, 2 * o.sz, m.M2());
+    detail::charge_l3_read(h, 2 * rp.own_sz[rank], m.M2());
   });
   const double delta = rp.allreduce(rp.partial);
 
   double bb = 0.0;
   for (std::size_t q = 0; q < rp.P; ++q) {
-    const BlockRange o = rp.own[q];
     double sum = 0.0;
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += b[i] * b[i];
+    for_each_run(rp.part, rp.own[q], [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) sum += b[i] * b[i];
+    });
     bb += sum;
   }
   rp.allreduce_charge(1);
   return {delta, bb};
 }
 
-/// One classical CG step on the row partition, charged at the
-/// classical per-step rates (reads A + O(n)/P, writes 4n/P per rank).
+/// One classical CG step on the partition, charged at the classical
+/// per-step rates (reads A + O(n)/P, writes 4n/P per rank).
 /// @p check_den mirrors the caller: krylov::cg runs the division
 /// unconditionally, the CA-CG restart fallback bails on breakdown.
 struct StepResult {
@@ -187,7 +345,7 @@ struct StepResult {
   bool breakdown;
 };
 
-StepResult cg_step(RowPart& rp, const std::vector<HaloTransfer>& halo1,
+StepResult cg_step(PartRun& rp, const std::vector<HaloTransfer>& halo1,
                    const std::vector<std::size_t>& recv1,
                    std::span<double> x, std::vector<double>& r,
                    std::vector<double>& p, std::vector<double>& w,
@@ -197,17 +355,21 @@ StepResult cg_step(RowPart& rp, const std::vector<HaloTransfer>& halo1,
 
   rp.exchange(halo1, 1);  // p ghosts for the spmv
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const BlockRange o = rp.own[rank];
+    const NodeBox& o = rp.own[rank];
     double sum = 0.0;
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
-      w[i] = kd::row_dot(A, i, p.data(), 0);
-    }
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += p[i] * w[i];
+    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        w[i] = kd::row_dot(A, i, p.data(), 0);
+      }
+    });
+    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) sum += p[i] * w[i];
+    });
     rp.partial[rank] = sum;
     detail::charge_l2_transit(h, recv1[rank], m.M2(), 0);
-    detail::charge_l3_read(
-        h, rows_nnz(A, o.off, o.off + o.sz) + 3 * o.sz, m.M2());
-    detail::charge_l3_write(h, o.sz, m.M2());  // w
+    detail::charge_l3_read(h, box_nnz(A, rp.part, o) + 3 * rp.own_sz[rank],
+                           m.M2());
+    detail::charge_l3_write(h, rp.own_sz[rank], m.M2());  // w
   });
   const double den = rp.allreduce(rp.partial);
   if (check_den && (den <= 0 || !std::isfinite(den))) {
@@ -216,25 +378,28 @@ StepResult cg_step(RowPart& rp, const std::vector<HaloTransfer>& halo1,
   const double alpha = delta / den;
 
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const BlockRange o = rp.own[rank];
+    const NodeBox& o = rp.own[rank];
     double sum = 0.0;
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) x[i] += alpha * p[i];
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) r[i] -= alpha * w[i];
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += r[i] * r[i];
+    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) x[i] += alpha * p[i];
+      for (std::size_t i = lo; i < hi; ++i) r[i] -= alpha * w[i];
+      for (std::size_t i = lo; i < hi; ++i) sum += r[i] * r[i];
+    });
     rp.partial[rank] = sum;
-    detail::charge_l3_read(h, 6 * o.sz, m.M2());
-    detail::charge_l3_write(h, 2 * o.sz, m.M2());  // x, r
+    detail::charge_l3_read(h, 6 * rp.own_sz[rank], m.M2());
+    detail::charge_l3_write(h, 2 * rp.own_sz[rank], m.M2());  // x, r
   });
   const double delta_new = rp.allreduce(rp.partial);
   const double beta = delta_new / delta;
 
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const BlockRange o = rp.own[rank];
-    for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
-      p[i] = r[i] + beta * p[i];
-    }
-    detail::charge_l3_read(h, 2 * o.sz, m.M2());
-    detail::charge_l3_write(h, o.sz, m.M2());  // p
+    for_each_run(rp.part, rp.own[rank], [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        p[i] = r[i] + beta * p[i];
+      }
+    });
+    detail::charge_l3_read(h, 2 * rp.own_sz[rank], m.M2());
+    detail::charge_l3_write(h, rp.own_sz[rank], m.M2());  // p
   });
   return {delta_new, false};
 }
@@ -255,15 +420,15 @@ double true_residual(const sparse::Csr& A, std::span<const double> b,
 
 }  // namespace
 
-KrylovResult cg(Machine& m, const sparse::Csr& A, std::span<const double> b,
-                std::span<double> x, std::size_t max_iters, double tol) {
+KrylovResult cg(Machine& m, const Partition& part, const sparse::Csr& A,
+                std::span<const double> b, std::span<double> x,
+                std::size_t max_iters, double tol) {
   const std::size_t n = A.n;
   if (b.size() != n || x.size() != n) {
     throw std::invalid_argument("dist::cg: size mismatch");
   }
-  RowPart rp(m, A);
-  const std::size_t bw = std::max<std::size_t>(1, A.bandwidth());
-  const auto halo1 = halo_transfers(rp.g, n, bw);
+  PartRun rp(m, A, part);
+  const auto halo1 = part.halo(part.radius());
   const auto recv1 = recv_rows(halo1, rp.P);
 
   KrylovResult out;
@@ -291,9 +456,9 @@ KrylovResult cg(Machine& m, const sparse::Csr& A, std::span<const double> b,
   return out;
 }
 
-KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
+KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
                    std::span<const double> b, std::span<double> x,
-                   const CaCgOptions& opt) {
+                   const CaCgOptions& opt, const KrylovExec& exec) {
   const std::size_t n = A.n;
   const std::size_t s = opt.s;
   if (s == 0) throw std::invalid_argument("dist::ca_cg: s >= 1");
@@ -304,17 +469,16 @@ KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
   const kd::BasisCoeffs bc =
       kd::make_basis(A, s, opt.basis == CaCgBasis::kNewton);
 
-  RowPart rp(m, A);
+  PartRun rp(m, A, part);
   const std::size_t P = rp.P;
-  const std::size_t bw = std::max<std::size_t>(1, A.bandwidth());
-  const std::size_t ext = s * bw;
+  const std::size_t ext = s * part.radius();
   std::size_t block_rows = opt.block_rows;
   if (block_rows == 0) {
-    block_rows = std::max<std::size_t>(4 * s * bw, 256);
+    block_rows = std::max<std::size_t>(4 * s * part.radius(), 256);
   }
-  const auto halo1 = halo_transfers(rp.g, n, bw);
+  const auto halo1 = part.halo(part.radius());
   const auto recv1 = recv_rows(halo1, P);
-  const auto halo_s = halo_transfers(rp.g, n, ext);
+  const auto halo_s = part.halo(ext);
   const auto recv_s = recv_rows(halo_s, P);
 
   KrylovResult out;
@@ -331,7 +495,8 @@ KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
   std::vector<double> pn(n), rn(n);  // streaming recovery targets
 
   // Per-rank scratch living across the basis and recovery phases of
-  // one outer iteration: the rank's extended basis (kStored only) and
+  // one outer iteration (and, with exec.reuse_scratch, across outer
+  // iterations and streaming blocks): the rank's extended basis and
   // its Gram partial.  Indexed by rank, so concurrent phases touch
   // disjoint slots.
   std::vector<std::vector<std::vector<double>>> Vloc(P);
@@ -350,78 +515,83 @@ KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
     kd::Small G(mm);
     for (kd::Small& gp : gpart) std::fill(gp.a.begin(), gp.a.end(), 0.0);
 
-    // One ghost exchange of width s*bw covers every basis column of
-    // the outer iteration (the matrix-powers optimization).
+    // One ghost exchange of depth s*radius covers every basis column
+    // of the outer iteration (the matrix-powers optimization).
     rp.exchange(halo_s, 2);  // p and r travel together
 
     if (opt.mode == CaCgMode::kStored) {
       // ---- basis + Gram phase: each rank materializes all 2s+1
-      // columns of its own rows (redundantly extending into the ghost
-      // region), writing each finished own-row column to slow memory
-      // once, then accumulates its Gram partial.
+      // columns of its own nodes (redundantly extending into the
+      // ghost region), writing each finished own-node column to slow
+      // memory once, then accumulates its Gram partial.
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const BlockRange o = rp.own[rank];
+        const NodeBox& o = rp.own[rank];
         auto& W = Vloc[rank];
-        if (o.sz == 0) {
+        if (o.empty()) {
           W.clear();
           return;
         }
-        const std::size_t elo = o.off >= ext ? o.off - ext : 0;
-        const std::size_t ehi = std::min(n, o.off + o.sz + ext);
+        const std::size_t osz = rp.own_sz[rank];
+        const NodeBox ebox = part.extended(rank, ext);
         const std::uint64_t a_words =
-            build_basis_block(A, bc, s, bw, p, r, elo, ehi, W);
+            build_basis_box(A, part, bc, s, p, r, ebox, W,
+                            exec.reuse_scratch);
         detail::charge_l2_transit(h, 2 * recv_s[rank], m.M2(), 0);
-        detail::charge_l3_read(h, 2 * o.sz, m.M2());
-        detail::charge_l3_write(h, 2 * o.sz, m.M2());  // basis heads
+        detail::charge_l3_read(h, 2 * osz, m.M2());
+        detail::charge_l3_write(h, 2 * osz, m.M2());  // basis heads
         detail::charge_l3_read(h, a_words, m.M2());
-        // Every non-head column of the rank's own rows hits slow
+        // Every non-head column of the rank's own nodes hits slow
         // memory once -- the Theta(n) stored-basis write stream.
-        detail::charge_l3_write(h, (2 * s - 1) * o.sz, m.M2());
+        detail::charge_l3_write(h, (2 * s - 1) * osz, m.M2());
 
         kd::Small& gp = gpart[rank];
-        for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
-          const std::size_t li = i - elo;
-          for (std::size_t a = 0; a < mm; ++a) {
-            for (std::size_t c = a; c < mm; ++c) {
-              gp(a, c) += W[a][li] * W[c][li];
-            }
-          }
-        }
-        detail::charge_l3_read(h, mm * o.sz, m.M2());  // basis re-read
+        for_each_run_local(
+            part, o, ebox,
+            [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+              for (std::size_t i = glo; i < ghi; ++i) {
+                const std::size_t li = lb + i - glo;
+                for (std::size_t a = 0; a < mm; ++a) {
+                  for (std::size_t c = a; c < mm; ++c) {
+                    gp(a, c) += W[a][li] * W[c][li];
+                  }
+                }
+              }
+            });
+        detail::charge_l3_read(h, mm * osz, m.M2());  // basis re-read
       });
     } else {
       // ---- streaming pass 1: blockwise basis + Gram accumulation;
       // basis blocks live in fast buffers and are discarded, so this
       // pass writes nothing to slow memory.
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const BlockRange o = rp.own[rank];
-        if (o.sz == 0) return;
+        const NodeBox& o = rp.own[rank];
+        if (o.empty()) return;
         detail::charge_l2_transit(h, 2 * recv_s[rank], m.M2(), 0);
         kd::Small& gp = gpart[rank];
-        for (std::size_t lo = o.off; lo < o.off + o.sz; lo += block_rows) {
-          const std::size_t hi = std::min(o.off + o.sz, lo + block_rows);
-          const std::size_t elo = lo >= ext ? lo - ext : 0;
-          const std::size_t ehi = std::min(n, hi + ext);
-
-          std::vector<std::vector<double>> W;
+        auto& W = Vloc[rank];
+        for (const NodeBox& c : stream_chunks(part, o, block_rows)) {
+          const NodeBox ebox = dilate_clipped(part, c, ext);
           const std::uint64_t a_words =
-              build_basis_block(A, bc, s, bw, p, r, elo, ehi, W);
+              build_basis_box(A, part, bc, s, p, r, ebox, W,
+                              exec.reuse_scratch);
           // Slow-memory reads: the extent's overlap with the rank's
-          // own rows (adjacent own blocks re-read the overlap -- the
-          // <= 2x read amplification); ghost rows arrived by network.
-          const std::size_t rlo = std::max(elo, o.off);
-          const std::size_t rhi = std::min(ehi, o.off + o.sz);
-          detail::charge_l3_read(h, 2 * (rhi - rlo), m.M2());
+          // own nodes (adjacent own blocks re-read the overlap -- the
+          // <= 2x read amplification); ghost nodes arrived by network.
+          detail::charge_l3_read(h, 2 * box_overlap(ebox, o), m.M2());
           detail::charge_l3_read(h, a_words, m.M2());
 
-          for (std::size_t i = lo; i < hi; ++i) {
-            const std::size_t li = i - elo;
-            for (std::size_t a = 0; a < mm; ++a) {
-              for (std::size_t c = a; c < mm; ++c) {
-                gp(a, c) += W[a][li] * W[c][li];
-              }
-            }
-          }
+          for_each_run_local(
+              part, c, ebox,
+              [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+                for (std::size_t i = glo; i < ghi; ++i) {
+                  const std::size_t li = lb + i - glo;
+                  for (std::size_t a = 0; a < mm; ++a) {
+                    for (std::size_t cc = a; cc < mm; ++cc) {
+                      gp(a, cc) += W[a][li] * W[cc][li];
+                    }
+                  }
+                }
+              });
         }
       });
     }
@@ -451,59 +621,65 @@ KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
     // ---- recovery: [p, r, x] = [P, R] [ph, rh, xh] + [0, 0, x].
     if (opt.mode == CaCgMode::kStored) {
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const BlockRange o = rp.own[rank];
-        if (o.sz == 0) return;
-        const std::size_t elo = o.off >= ext ? o.off - ext : 0;
+        const NodeBox& o = rp.own[rank];
+        if (o.empty()) return;
+        const std::size_t osz = rp.own_sz[rank];
+        const NodeBox ebox = part.extended(rank, ext);
         const auto& W = Vloc[rank];
-        for (std::size_t i = o.off; i < o.off + o.sz; ++i) {
-          const std::size_t li = i - elo;
-          double np = 0, nr = 0, nx = x[i];
-          for (std::size_t a = 0; a < mm; ++a) {
-            np += W[a][li] * ph[a];
-            nr += W[a][li] * rh[a];
-            nx += W[a][li] * xh[a];
-          }
-          p[i] = np;
-          r[i] = nr;
-          x[i] = nx;
-        }
-        detail::charge_l3_read(h, mm * o.sz + o.sz, m.M2());
-        detail::charge_l3_write(h, 3 * o.sz, m.M2());
+        for_each_run_local(
+            part, o, ebox,
+            [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+              for (std::size_t i = glo; i < ghi; ++i) {
+                const std::size_t li = lb + i - glo;
+                double np = 0, nr = 0, nx2 = x[i];
+                for (std::size_t a = 0; a < mm; ++a) {
+                  np += W[a][li] * ph[a];
+                  nr += W[a][li] * rh[a];
+                  nx2 += W[a][li] * xh[a];
+                }
+                p[i] = np;
+                r[i] = nr;
+                x[i] = nx2;
+              }
+            });
+        detail::charge_l3_read(h, mm * osz + osz, m.M2());
+        detail::charge_l3_write(h, 3 * osz, m.M2());
       });
     } else {
       // ---- streaming pass 2: recompute the basis blockwise and fuse
       // the recovery (the <= 2x flop doubling the paper trades for
       // the Theta(s) write reduction); only x, p, r are written.
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const BlockRange o = rp.own[rank];
-        if (o.sz == 0) return;
-        for (std::size_t lo = o.off; lo < o.off + o.sz; lo += block_rows) {
-          const std::size_t hi = std::min(o.off + o.sz, lo + block_rows);
-          const std::size_t elo = lo >= ext ? lo - ext : 0;
-          const std::size_t ehi = std::min(n, hi + ext);
-
-          std::vector<std::vector<double>> W;
+        const NodeBox& o = rp.own[rank];
+        if (o.empty()) return;
+        auto& W = Vloc[rank];
+        for (const NodeBox& c : stream_chunks(part, o, block_rows)) {
+          const NodeBox ebox = dilate_clipped(part, c, ext);
           const std::uint64_t a_words =
-              build_basis_block(A, bc, s, bw, p, r, elo, ehi, W);
-          const std::size_t rlo = std::max(elo, o.off);
-          const std::size_t rhi = std::min(ehi, o.off + o.sz);
-          detail::charge_l3_read(h, 2 * (rhi - rlo), m.M2());
+              build_basis_box(A, part, bc, s, p, r, ebox, W,
+                              exec.reuse_scratch);
+          detail::charge_l3_read(h, 2 * box_overlap(ebox, o), m.M2());
           detail::charge_l3_read(h, a_words, m.M2());
 
-          for (std::size_t i = lo; i < hi; ++i) {
-            const std::size_t li = i - elo;
-            double np = 0, nr = 0, nx = x[i];
-            for (std::size_t a = 0; a < mm; ++a) {
-              np += W[a][li] * ph[a];
-              nr += W[a][li] * rh[a];
-              nx += W[a][li] * xh[a];
-            }
-            pn[i] = np;
-            rn[i] = nr;
-            x[i] = nx;
-          }
-          detail::charge_l3_read(h, hi - lo, m.M2());       // x
-          detail::charge_l3_write(h, 3 * (hi - lo), m.M2());  // x, p, r
+          for_each_run_local(
+              part, c, ebox,
+              [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+                for (std::size_t i = glo; i < ghi; ++i) {
+                  const std::size_t li = lb + i - glo;
+                  double np = 0, nr = 0, nx2 = x[i];
+                  for (std::size_t a = 0; a < mm; ++a) {
+                    np += W[a][li] * ph[a];
+                    nr += W[a][li] * rh[a];
+                    nx2 += W[a][li] * xh[a];
+                  }
+                  pn[i] = np;
+                  rn[i] = nr;
+                  x[i] = nx2;
+                }
+              });
+          const std::size_t csz = c.volume();
+          detail::charge_l3_read(h, csz, m.M2());       // x
+          detail::charge_l3_write(h, 3 * csz, m.M2());  // x, p, r
         }
       });
       p.swap(pn);
@@ -513,11 +689,12 @@ KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
     // Recompute delta from the *recovered* residual; a large
     // disagreement with the coordinate-space value flags breakdown.
     m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-      const BlockRange o = rp.own[rank];
       double sum = 0.0;
-      for (std::size_t i = o.off; i < o.off + o.sz; ++i) sum += r[i] * r[i];
+      for_each_run(part, rp.own[rank], [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) sum += r[i] * r[i];
+      });
       rp.partial[rank] = sum;
-      detail::charge_l3_read(h, 2 * o.sz, m.M2());
+      detail::charge_l3_read(h, 2 * rp.own_sz[rank], m.M2());
     });
     const double delta_true = rp.allreduce(rp.partial);
 
@@ -550,6 +727,19 @@ KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
     out.converged = out.residual_norm <= opt.tol * sparse::norm2(b) * 10.0;
   }
   return out;
+}
+
+KrylovResult cg(Machine& m, const sparse::Csr& A, std::span<const double> b,
+                std::span<double> x, std::size_t max_iters, double tol) {
+  const auto part = make_partition(m.nprocs(), A);
+  return cg(m, *part, A, b, x, max_iters, tol);
+}
+
+KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
+                   std::span<const double> b, std::span<double> x,
+                   const CaCgOptions& opt) {
+  const auto part = make_partition(m.nprocs(), A);
+  return ca_cg(m, *part, A, b, x, opt);
 }
 
 }  // namespace wa::dist

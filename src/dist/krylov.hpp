@@ -1,26 +1,32 @@
 #pragma once
 // wa::dist -- the Section 8 Krylov solvers on the distributed machine.
 //
-// The banded matrix and all n-vectors are row-partitioned over the
-// ProcessGrid's ranks in the balanced 1-D split (the grid is treated
-// as the flat list of its P ranks; see ProcessGrid::linear_block).
-// Every outer step exchanges ghost zones of width s * bandwidth with
-// the neighbouring ranks -- charged as point-to-point sends on the
-// Machine -- after which each rank can compute all 2s+1 basis columns
-// of its own rows locally (the matrix-powers optimization: redundant
-// flops in the ghost region instead of s round-trips).  Dot products
+// The matrix and all n-vectors are partitioned over the ProcessGrid's
+// ranks by a Partition (dist/partition.hpp): the balanced 1-D row
+// split, or the 2-D block partition of grid-structured matrices
+// (tiles over the nx x ny mesh, layered over nz).  Every outer step
+// exchanges ghost zones of depth s * radius with the neighbouring
+// ranks -- charged as point-to-point sends on the Machine -- after
+// which each rank can compute all 2s+1 basis columns of its own nodes
+// locally (the matrix-powers optimization: redundant flops in the
+// ghost region instead of s round-trips).  On the 1-D partition the
+// radius is the matrix bandwidth (rows are the only geometry); on the
+// 2-D partition it is the stencil radius the sparse::Csr generators
+// record, so the exchange ships faces + corners of Theta(s*sqrt(n/P))
+// words instead of the bandwidth-derived Theta(s*nx) row zones that
+// degenerate into an all-to-all on 2-D/3-D stencils.  Dot products
 // and the Gram matrix G = [P,R]^T [P,R] are per-rank partial sums
 // combined by a binomial-tree allreduce (Machine::reduce + bcast).
 //
 // The local basis/recovery phases -- real numerics plus charging --
 // run under the execution Backend seam (Machine::run_local_each), so
 // SerialSimBackend and ThreadedBackend produce byte-identical
-// per-rank counters while the threaded backend parallelizes the row
-// blocks for wall-clock speedup.
+// per-rank counters while the threaded backend parallelizes the
+// per-rank blocks for wall-clock speedup.
 //
 // The paper's W12 (words written to slow memory per CG step) maps to
-// the per-rank l3_write channel here, exactly as in the distributed
-// LU: per rank per CG step,
+// the per-rank l3_write channel here and is partition-independent
+// (every rank owns n/P nodes either way): per rank per CG step,
 //
 //   classical CG           4 n/P              Theta(n/P)
 //   CA-CG, kStored         (2s+4)/s * n/P     Theta(n/P)
@@ -28,14 +34,19 @@
 //
 // i.e. the stored-basis variant stays Theta(n) in total while the
 // streaming variant realizes the paper's Theta(s) write reduction.
-// On P = 1 both solvers are bitwise-equal to their shared-memory
-// counterparts in src/krylov/ (pinned by tests/dist_krylov_test.cpp).
+// What the partition changes is the *network* channel: see the
+// halo_words_*_model closed forms below.  On P = 1 both solvers are
+// bitwise-equal to their shared-memory counterparts in src/krylov/
+// (pinned by tests/dist_krylov_test.cpp).
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <span>
 
 #include "dist/grid.hpp"
 #include "dist/machine.hpp"
+#include "dist/partition.hpp"
 #include "krylov/cacg.hpp"
 #include "sparse/csr.hpp"
 
@@ -49,20 +60,40 @@ struct KrylovResult {
   bool converged = false;
 };
 
-/// Distributed classical CG (Algorithm 6): row-partitioned spmv with
-/// bandwidth-wide ghost exchanges, allreduce dot products.
+/// Execution tuning of the distributed solvers (numerics and counters
+/// are invariant under every setting).
+struct KrylovExec {
+  /// Reuse each rank's basis scratch across outer iterations and
+  /// streaming blocks instead of reallocating 2s+1 columns per block
+  /// (the PR 4 behavior, kept for the bench's wall-clock comparison).
+  bool reuse_scratch = true;
+};
+
+/// Distributed classical CG (Algorithm 6) on an explicit partition:
+/// partitioned spmv with radius-deep ghost exchanges, allreduce dots.
+KrylovResult cg(Machine& m, const Partition& part, const sparse::Csr& A,
+                std::span<const double> b, std::span<double> x,
+                std::size_t max_iters, double tol);
+
+/// Distributed s-step CA-CG (Algorithm 7 / §8) on an explicit
+/// partition, kStored or kStreaming, monomial or Newton basis --
+/// semantics of the options match the shared-memory krylov::ca_cg.
+KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
+                   std::span<const double> b, std::span<double> x,
+                   const krylov::CaCgOptions& opt,
+                   const KrylovExec& exec = {});
+
+/// Convenience front doors: partition chosen from the matrix geometry
+/// (make_partition kAuto -- 2-D blocks for mesh-generated matrices,
+/// the balanced 1-D row split otherwise) on m.nprocs() ranks.
 KrylovResult cg(Machine& m, const sparse::Csr& A, std::span<const double> b,
                 std::span<double> x, std::size_t max_iters, double tol);
-
-/// Distributed s-step CA-CG (Algorithm 7 / §8), kStored or
-/// kStreaming, monomial or Newton basis -- semantics of the options
-/// match the shared-memory krylov::ca_cg.
 KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
                    std::span<const double> b, std::span<double> x,
                    const krylov::CaCgOptions& opt);
 
 /// Section 8 closed form: slow-memory words written per rank per CG
-/// step by CA-CG on the banded model problem (see file comment).
+/// step by CA-CG (see file comment; partition-independent).
 inline double cacg_model_writes_per_step(std::size_t n, std::size_t P,
                                          std::size_t s,
                                          krylov::CaCgMode mode) {
@@ -77,6 +108,47 @@ inline double cacg_model_writes_per_step(std::size_t n, std::size_t P,
 /// step -- 4 n/P words per rank.
 inline double cg_model_writes_per_step(std::size_t n, std::size_t P) {
   return 4.0 * double(n) / double(P);
+}
+
+/// Ghost words an interior rank *receives* from one depth-@p e
+/// exchange on the balanced 1-D row partition: two e-row zones,
+/// clipped to the rest of the vector.  With the bandwidth-derived
+/// depth e = s*bw of a 2-D/3-D stencil this saturates at n - n/P --
+/// the halo blow-up the 2-D partition fixes.
+inline double halo_words_1d_model(std::size_t n, std::size_t P,
+                                  std::size_t e) {
+  const double own = std::ceil(double(n) / double(P));
+  return std::min(2.0 * double(e), std::max(0.0, double(n) - own));
+}
+
+/// Ghost words an interior rank receives from one depth-@p e exchange
+/// on the 2-D block partition of an nx x ny x nz mesh over a pr x pc
+/// grid: the tile dilated by e per side (faces + corners, clipped at
+/// the mesh edges) minus the tile itself, whole nz pencils --
+/// 2e(tx + ty) + 4e^2 nodes, i.e. Theta(s * sqrt(n/P)) for e = s*r.
+inline double halo_words_2d_model(std::size_t nx, std::size_t ny,
+                                  std::size_t nz, std::size_t pr,
+                                  std::size_t pc, std::size_t e) {
+  const double tx = std::ceil(double(nx) / double(pc));
+  const double ty = std::ceil(double(ny) / double(pr));
+  const double gx = std::min(tx + 2.0 * double(e), double(nx));
+  const double gy = std::min(ty + 2.0 * double(e), double(ny));
+  return double(nz) * (gx * gy - tx * ty);
+}
+
+/// Network words per rank per CA-CG outer iteration: the two-vector
+/// depth-(s*r) ghost exchange (received plus shipped -- symmetric for
+/// an interior rank) and the Gram + residual allreduces (reduce then
+/// bcast, each charging ceil(log2 P) rounds).  @p ghost is the
+/// per-exchange received-words count from a halo_words_*_model above,
+/// so one formula serves both partitions.
+inline double cacg_model_network_words_per_outer(std::size_t P,
+                                                 std::size_t s,
+                                                 double ghost) {
+  const double rounds = double(Machine::bcast_rounds(P));
+  const double mm = 2.0 * double(s) + 1.0;
+  const double gram = mm * (mm + 1.0) / 2.0;
+  return 2.0 * 2.0 * ghost + 2.0 * rounds * (gram + 1.0);
 }
 
 }  // namespace wa::dist

@@ -1,0 +1,282 @@
+#pragma once
+// wa::dist -- the partition seam between mesh geometry and the
+// distributed Krylov solvers.
+//
+// A Partition decides which mesh nodes (= matrix rows) each rank
+// owns, how wide a ghost exchange of a given depth is, and therefore
+// what every l3_read/l3_write/nw charge of the solvers is based on.
+// Two implementations:
+//
+//  * RowPartition1D -- the balanced 1-D row split all PR 4 solvers
+//    ran on.  Its halo depth is measured in *rows*, so a solver that
+//    derives the depth from the matrix bandwidth is correct for any
+//    banded matrix but degenerates on 2-D/3-D stencils: a (2b+1)^2
+//    stencil on an nx-wide mesh has 1-D bandwidth b*nx + b, and a
+//    ghost of s*bandwidth rows spans nearly the whole domain.
+//
+//  * BlockPartition2D -- ProcessGrid tiles over the nx x ny node
+//    mesh (grid rows <-> y, grid columns <-> x), each tile carrying
+//    its full pencil of nz mesh layers (the layered variant for
+//    poisson_3d).  Ghost depth is measured in mesh nodes per axis, so
+//    the exchange ships faces + corners of width s*radius per side --
+//    Theta(s * sqrt(n/P)) words instead of Theta(s * bandwidth).
+//
+// Every rank's owned node set, and its dilated ghost region, is an
+// axis-aligned NodeBox of the mesh; the 1-D partition is the nx = n,
+// ny = nz = 1 degenerate case, so the solvers speak one box-shaped
+// geometry for both partitions.
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/grid.hpp"
+#include "sparse/csr.hpp"
+
+namespace wa::dist {
+
+/// Axis-aligned box of mesh nodes [x0,x1) x [y0,y1) x [z0,z1).
+struct NodeBox {
+  std::size_t x0 = 0, x1 = 0, y0 = 0, y1 = 0, z0 = 0, z1 = 0;
+
+  std::size_t dx() const { return x1 > x0 ? x1 - x0 : 0; }
+  std::size_t dy() const { return y1 > y0 ? y1 - y0 : 0; }
+  std::size_t dz() const { return z1 > z0 ? z1 - z0 : 0; }
+  std::size_t volume() const { return dx() * dy() * dz(); }
+  bool empty() const { return volume() == 0; }
+};
+
+/// Node volume of the intersection of two boxes.
+inline std::size_t box_overlap(const NodeBox& a, const NodeBox& b) {
+  return interval_overlap(a.x0, a.x1, b.x0, b.x1) *
+         interval_overlap(a.y0, a.y1, b.y0, b.y1) *
+         interval_overlap(a.z0, a.z1, b.z0, b.z1);
+}
+
+/// @p b dilated by @p depth nodes per axis, clipped at the mesh edges
+/// (unpartitioned axes are already full, so their dilation clips
+/// away).  The one definition of ghost-region geometry: partitions
+/// and the solvers' streaming chunks both use it.
+inline NodeBox dilate_box(NodeBox b, std::size_t depth, std::size_t nx,
+                          std::size_t ny, std::size_t nz) {
+  if (b.empty()) return b;
+  b.x0 = b.x0 >= depth ? b.x0 - depth : 0;
+  b.x1 = std::min(nx, b.x1 + depth);
+  b.y0 = b.y0 >= depth ? b.y0 - depth : 0;
+  b.y1 = std::min(ny, b.y1 + depth);
+  b.z0 = b.z0 >= depth ? b.z0 - depth : 0;
+  b.z1 = std::min(nz, b.z1 + depth);
+  return b;
+}
+
+/// The sub-interval of [lo, hi) whose rows are computable at
+/// matrix-power level @p level: shrink by level*radius from every
+/// side that is not clamped at the domain edge (edge rows keep their
+/// one-sided stencils, exactly like the full-domain recurrence).
+/// The window is clamped empty instead of inverting -- once the halo
+/// depth is decoupled from the bandwidth a narrow extent can shrink
+/// past itself, and an inverted window must yield zero rows, not an
+/// underflowed unsigned range.
+inline BlockRange basis_valid_window(std::size_t lo, std::size_t hi,
+                                     std::size_t domain, std::size_t level,
+                                     std::size_t radius) {
+  const std::size_t shrink = level * radius;
+  const std::size_t vlo = lo == 0 ? 0 : lo + shrink;
+  const std::size_t vhi = hi == domain ? domain
+                                       : (hi > shrink ? hi - shrink : 0);
+  if (vhi <= vlo) return BlockRange{std::min(vlo, domain), 0};
+  return BlockRange{vlo, vhi - vlo};
+}
+
+/// Which mesh nodes each rank owns, and what a ghost exchange costs.
+class Partition {
+ public:
+  explicit Partition(ProcessGrid g) : g_(std::move(g)) {}
+  virtual ~Partition() = default;
+
+  const ProcessGrid& grid() const { return g_; }
+  std::size_t ranks() const { return g_.size(); }
+
+  /// Mesh dims; nx*ny*nz == n.  The 1-D row partition views the rows
+  /// as a linear nx = n mesh whatever the matrix really is.
+  virtual std::size_t nx() const = 0;
+  virtual std::size_t ny() const = 0;
+  virtual std::size_t nz() const = 0;
+  std::size_t nodes() const { return nx() * ny() * nz(); }
+
+  /// Ghost layers one matrix-power level consumes per axis (the
+  /// stencil radius; the 1-D partition uses the matrix bandwidth).
+  virtual std::size_t radius() const = 0;
+
+  /// Nodes owned by rank @p p.  The boxes of all ranks tile the mesh.
+  virtual NodeBox owned(std::size_t p) const = 0;
+
+  /// owned(p) dilated by @p depth ghost layers, clipped at the mesh
+  /// edges -- the extent a rank computes its basis columns over.
+  NodeBox extended(std::size_t p, std::size_t depth) const {
+    return dilate_box(owned(p), depth, nx(), ny(), nz());
+  }
+
+  /// Ghost shipments of one depth-@p exchange, one word per vector
+  /// element (`rows` already counts the layered nz pencils).
+  virtual std::vector<HaloTransfer> halo(std::size_t depth) const = 0;
+
+  std::size_t owned_words(std::size_t p) const { return owned(p).volume(); }
+
+  /// Global row of mesh node (x, y, z).
+  std::size_t global_index(std::size_t x, std::size_t y,
+                           std::size_t z) const {
+    return (z * ny() + y) * nx() + x;
+  }
+
+  /// All ranks, the solvers' allreduce group.
+  std::vector<std::size_t> group() const { return g_.linear_group(); }
+
+ private:
+  ProcessGrid g_;
+};
+
+/// The balanced 1-D row split over all P ranks (PR 4 behavior).
+class RowPartition1D final : public Partition {
+ public:
+  RowPartition1D(ProcessGrid g, std::size_t n, std::size_t radius)
+      : Partition(std::move(g)), n_(n),
+        radius_(std::max<std::size_t>(1, radius)) {}
+
+  std::size_t nx() const override { return n_; }
+  std::size_t ny() const override { return 1; }
+  std::size_t nz() const override { return 1; }
+  std::size_t radius() const override { return radius_; }
+
+  NodeBox owned(std::size_t p) const override {
+    const BlockRange b = grid().linear_block(n_, p);
+    return NodeBox{b.off, b.off + b.sz, 0, 1, 0, 1};
+  }
+
+  std::vector<HaloTransfer> halo(std::size_t depth) const override {
+    return halo_transfers(grid(), n_, depth);
+  }
+
+ private:
+  std::size_t n_, radius_;
+};
+
+/// ProcessGrid tiles over the nx x ny mesh, each tile owning its full
+/// pencil of nz layers (see file comment).
+class BlockPartition2D final : public Partition {
+ public:
+  BlockPartition2D(ProcessGrid g, std::size_t mesh_nx, std::size_t mesh_ny,
+                   std::size_t mesh_nz, std::size_t radius)
+      : Partition(std::move(g)), nx_(mesh_nx), ny_(mesh_ny), nz_(mesh_nz),
+        radius_(std::max<std::size_t>(1, radius)) {
+    if (nx_ == 0 || ny_ == 0 || nz_ == 0) {
+      throw std::invalid_argument("BlockPartition2D: empty mesh");
+    }
+  }
+
+  std::size_t nx() const override { return nx_; }
+  std::size_t ny() const override { return ny_; }
+  std::size_t nz() const override { return nz_; }
+  std::size_t radius() const override { return radius_; }
+
+  NodeBox owned(std::size_t p) const override {
+    const BlockRange ty = grid().row_block(ny_, grid().row_of(p));
+    const BlockRange tx = grid().col_block(nx_, grid().col_of(p));
+    return NodeBox{tx.off, tx.off + tx.sz, ty.off, ty.off + ty.sz, 0, nz_};
+  }
+
+  std::vector<HaloTransfer> halo(std::size_t depth) const override {
+    std::vector<HaloTransfer> out = halo_transfers_2d(grid(), nx_, ny_, depth);
+    for (HaloTransfer& t : out) t.rows *= nz_;  // whole pencils travel
+    return out;
+  }
+
+ private:
+  std::size_t nx_, ny_, nz_, radius_;
+};
+
+/// The pr x pc factorization of P whose tiles of the nx x ny mesh
+/// have the smallest half-perimeter (= smallest face halo), so long
+/// thin meshes get long thin grids instead of the square default.
+inline ProcessGrid best_grid_2d(std::size_t P, std::size_t nx,
+                                std::size_t ny) {
+  if (P == 0) throw std::invalid_argument("best_grid_2d: P must be positive");
+  std::size_t best_pr = 1;
+  std::size_t best_cost = std::size_t(-1);
+  for (std::size_t pr = 1; pr <= P; ++pr) {
+    if (P % pr != 0) continue;
+    const std::size_t pc = P / pr;
+    const std::size_t cost =
+        (ny + pr - 1) / pr + (nx + pc - 1) / pc;  // tile height + width
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_pr = pr;
+    }
+  }
+  return ProcessGrid(best_pr, P / best_pr);
+}
+
+/// Throw unless @p A's declared mesh geometry is consistent: the dims
+/// cover the matrix and every stored entry couples nodes at most
+/// `radius` apart per axis.  An under-declared radius would size the
+/// halos and validity windows too small and the basis build would
+/// read out of bounds with no diagnostic, so the front door refuses
+/// it up front (O(nnz), once per partition construction).
+inline void check_mesh_geometry(const sparse::Csr& A) {
+  if (A.nx * A.ny * A.nz != A.n) {
+    throw std::invalid_argument(
+        "make_partition: mesh dims do not cover the matrix");
+  }
+  const auto apart = [](std::size_t a, std::size_t b) {
+    return a > b ? a - b : b - a;
+  };
+  const std::size_t plane = A.nx * A.ny;
+  for (std::size_t i = 0; i < A.n; ++i) {
+    const std::size_t iz = i / plane, irem = i - iz * plane;
+    const std::size_t iy = irem / A.nx, ix = irem - iy * A.nx;
+    for (std::size_t q = A.row_ptr[i]; q < A.row_ptr[i + 1]; ++q) {
+      const std::size_t j = A.col_idx[q];
+      const std::size_t jz = j / plane, jrem = j - jz * plane;
+      const std::size_t jy = jrem / A.nx, jx = jrem - jy * A.nx;
+      if (apart(ix, jx) > A.radius || apart(iy, jy) > A.radius ||
+          apart(iz, jz) > A.radius) {
+        throw std::invalid_argument(
+            "make_partition: matrix entries reach beyond the declared "
+            "stencil radius");
+      }
+    }
+  }
+}
+
+enum class PartitionKind {
+  kAuto,     ///< 2-D blocks when A carries a 2-D/3-D mesh, else 1-D rows
+  kRows1D,   ///< balanced 1-D row split, bandwidth-derived halo
+  kBlocks2D  ///< 2-D tiles (layered over nz), stencil-radius halo
+};
+
+/// Partition of @p A's rows over @p P ranks.  kRows1D reproduces the
+/// PR 4 geometry exactly (halo depth = matrix bandwidth); kBlocks2D
+/// requires mesh geometry on A and picks the aspect-fitting grid.
+inline std::unique_ptr<Partition> make_partition(
+    std::size_t P, const sparse::Csr& A,
+    PartitionKind kind = PartitionKind::kAuto) {
+  const bool mesh2d = A.has_geometry() && A.ny * A.nz > 1;
+  if (kind == PartitionKind::kAuto) {
+    kind = mesh2d ? PartitionKind::kBlocks2D : PartitionKind::kRows1D;
+  }
+  if (kind == PartitionKind::kBlocks2D) {
+    if (!A.has_geometry()) {
+      throw std::invalid_argument(
+          "make_partition: 2-D blocks need mesh geometry on the matrix");
+    }
+    check_mesh_geometry(A);
+    return std::make_unique<BlockPartition2D>(best_grid_2d(P, A.nx, A.ny),
+                                              A.nx, A.ny, A.nz, A.radius);
+  }
+  return std::make_unique<RowPartition1D>(
+      ProcessGrid(P), A.n, std::max<std::size_t>(1, A.bandwidth()));
+}
+
+}  // namespace wa::dist

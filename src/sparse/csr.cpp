@@ -32,6 +32,9 @@ void spmv(const Csr& a, std::span<const double> x, std::span<double> y) {
 Csr stencil_1d(std::size_t n, unsigned b) {
   Csr a;
   a.n = n;
+  a.nx = n;
+  a.ny = a.nz = 1;
+  a.radius = b;
   a.row_ptr.reserve(n + 1);
   a.row_ptr.push_back(0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -49,6 +52,10 @@ Csr stencil_1d(std::size_t n, unsigned b) {
 Csr stencil_2d(std::size_t nx, std::size_t ny, unsigned b) {
   Csr a;
   a.n = nx * ny;
+  a.nx = nx;
+  a.ny = ny;
+  a.nz = 1;
+  a.radius = b;
   a.row_ptr.reserve(a.n + 1);
   a.row_ptr.push_back(0);
   const double nbhd = double((2 * b + 1) * (2 * b + 1) - 1);
@@ -73,6 +80,10 @@ Csr stencil_2d(std::size_t nx, std::size_t ny, unsigned b) {
 Csr poisson_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
   Csr a;
   a.n = nx * ny * nz;
+  a.nx = nx;
+  a.ny = ny;
+  a.nz = nz;
+  a.radius = 1;
   a.row_ptr.push_back(0);
   auto id = [&](std::size_t x, std::size_t y, std::size_t z) {
     return (z * ny + y) * nx + x;

@@ -491,6 +491,74 @@ INSTANTIATE_TEST_SUITE_P(Modes, KrylovModelRegression,
                                       : "streaming";
                          });
 
+// The 2-D block partition's closed forms (the bandwidth-halo bugfix):
+// on stencil_2d(64, 64, 1) with P = 16 and s = 4 the per-rank W12 is
+// partition-independent (each rank owns n/P nodes) and must still
+// match the Section 8 per-step forms, while the per-rank *network*
+// words must match the face+corner halo model -- Theta(s*sqrt(n/P))
+// ghost words per outer iteration, not the Theta(s*bw) row zones the
+// 1-D partition would ship on the same matrix.
+class KrylovModelRegression2D
+    : public ::testing::TestWithParam<krylov::CaCgMode> {};
+
+TEST_P(KrylovModelRegression2D, CaCgW12AndNetworkMatchClosedForms) {
+  const krylov::CaCgMode mode = GetParam();
+  const std::size_t s = 4, P = 16;
+  const auto A = sparse::stencil_2d(64, 64, 1);
+  const std::size_t n = A.n;
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> xs(n), b(n);
+  for (auto& v : xs) v = dist(rng);
+  sparse::spmv(A, xs, b);
+
+  Machine m(P, 192, 4096, 1 << 24);
+  const auto part = make_partition(P, A);
+  ASSERT_EQ(part->ny(), 64u);  // really the 2-D block partition
+  std::vector<double> x(n, 0.0);
+  krylov::CaCgOptions opt;
+  opt.s = s;
+  opt.mode = mode;
+  opt.tol = 1e-9;
+  const auto res = ca_cg(m, *part, A, b, x, opt);
+  ASSERT_TRUE(res.converged);
+  ASSERT_GT(res.iterations, 0u);
+  ASSERT_EQ(res.iterations % s, 0u) << "a restart would skew the model";
+  const double outers = double(res.iterations / s);
+
+  // W12: the per-step closed form, less the one-time setup writes.
+  const double w_model =
+      cacg_model_writes_per_step(n, P, s, mode) * double(res.iterations);
+  const double setup_w = 2.0 * std::ceil(double(n) / double(P));
+  const double w_meas = double(m.critical_path().l3_write.words) - setup_w;
+  EXPECT_NEAR(w_meas, w_model, 0.15 * w_model);
+
+  // Network: per outer, the two-vector depth-(s*r) face+corner
+  // exchange plus the Gram/residual allreduces; the setup adds one
+  // single-vector radius-deep exchange and two scalar allreduces.
+  const double ghost_s = halo_words_2d_model(64, 64, 1, 4, 4, s);
+  EXPECT_DOUBLE_EQ(ghost_s, 320.0);  // 4 faces of 4*16 + 4 corners
+  const double rounds = double(Machine::bcast_rounds(P));
+  const double ghost_1 = halo_words_2d_model(64, 64, 1, 4, 4, 1);
+  const double nw_model =
+      outers * cacg_model_network_words_per_outer(P, s, ghost_s) +
+      2.0 * ghost_1 + 4.0 * rounds;
+  std::uint64_t nw_meas = 0;
+  for (std::size_t p = 0; p < P; ++p) {
+    nw_meas = std::max(nw_meas, m.proc(p).nw.words);
+  }
+  EXPECT_NEAR(double(nw_meas), nw_model, 0.15 * nw_model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, KrylovModelRegression2D,
+                         ::testing::Values(krylov::CaCgMode::kStored,
+                                           krylov::CaCgMode::kStreaming),
+                         [](const auto& info) {
+                           return info.param == krylov::CaCgMode::kStored
+                                      ? "stored"
+                                      : "streaming";
+                         });
+
 TEST(ModelRegression, DistCgPerRankW12MatchesClassicalRate) {
   const std::size_t n = 1 << 12;
   const auto A = sparse::stencil_1d(n, 1);

@@ -1,11 +1,13 @@
 // The distributed Section 8 Krylov solvers (dist/krylov.hpp): the
-// 1-D row partition and ghost-exchange geometry, bitwise equality
-// with the shared-memory solvers on P = 1, residual parity on ragged
-// rank counts, serial-vs-threaded counter identity, and the exact
-// Theta(s) write reduction of the streaming matrix-powers variant.
+// 1-D row and 2-D block partitions and their ghost-exchange geometry,
+// bitwise equality with the shared-memory solvers on P = 1, residual
+// parity on ragged rank counts, serial-vs-threaded counter identity,
+// the exact Theta(s) write reduction of the streaming matrix-powers
+// variant, and the bandwidth-halo blow-up the 2-D partition fixes.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <random>
@@ -97,6 +99,326 @@ TEST(Halo, WideGhostSpillsAcrossSeveralRanks) {
 TEST(Halo, EmptyForSingleRankOrZeroGhost) {
   EXPECT_TRUE(halo_transfers(ProcessGrid(1), 100, 5).empty());
   EXPECT_TRUE(halo_transfers(ProcessGrid(4), 100, 0).empty());
+}
+
+bool same_transfers(const std::vector<HaloTransfer>& got,
+                    const std::vector<HaloTransfer>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].src != want[i].src || got[i].dst != want[i].dst ||
+        got[i].rows != want[i].rows) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Halo, GhostCoveringWholeDomainShipsEveryOtherBlock) {
+  // ghost >= n: every rank requests the whole rest of the vector.
+  // Blocks of 2 on n = 8; each rank's two zones are split by owner in
+  // ascending order, upper zone first -- pinned exactly.
+  const auto hs = halo_transfers(ProcessGrid(4), 8, 8);
+  const std::vector<HaloTransfer> want = {
+      {1, 0, 2}, {2, 0, 2}, {3, 0, 2},   // rank 0: lower zone only
+      {0, 1, 2}, {2, 1, 2}, {3, 1, 2},   // rank 1: [0,2) then [4,8)
+      {0, 2, 2}, {1, 2, 2}, {3, 2, 2},   // rank 2
+      {0, 3, 2}, {1, 3, 2}, {2, 3, 2}};  // rank 3: upper zone only
+  EXPECT_TRUE(same_transfers(hs, want));
+}
+
+TEST(Halo, EmptyBlocksRequestAndShipNothing) {
+  // n = 4 < P = 6: ranks 4 and 5 own nothing, so they appear in no
+  // shipment; the populated ranks exchange single rows -- pinned.
+  const auto hs = halo_transfers(ProcessGrid(6), 4, 1);
+  const std::vector<HaloTransfer> want = {
+      {1, 0, 1},                          // rank 0: lower zone only
+      {0, 1, 1}, {2, 1, 1},               // rank 1
+      {1, 2, 1}, {3, 2, 1},               // rank 2
+      {2, 3, 1}};                         // rank 3: upper zone only
+  EXPECT_TRUE(same_transfers(hs, want));
+}
+
+// ---- 2-D block partition + halo geometry --------------------------------
+
+TEST(Halo2D, InteriorTileShipsFacesAndCorners) {
+  // 64 x 64 mesh on a 4 x 4 grid (16 x 16 tiles), ghost 4: an
+  // interior tile's dilated box is 24 x 24, so it receives exactly
+  // 24^2 - 16^2 = 320 nodes -- 4 faces of 4*16 plus 4 corners of 4^2.
+  const ProcessGrid g(4, 4);
+  const auto hs = halo_transfers_2d(g, 64, 64, 4);
+  std::size_t recv5 = 0, sent5 = 0;
+  for (const auto& t : hs) {
+    EXPECT_NE(t.src, t.dst);
+    if (t.dst == 5) recv5 += t.rows;
+    if (t.src == 5) sent5 += t.rows;
+  }
+  EXPECT_EQ(recv5, 320u);
+  EXPECT_EQ(sent5, 320u);  // interior exchange is symmetric
+  EXPECT_DOUBLE_EQ(double(recv5), halo_words_2d_model(64, 64, 1, 4, 4, 4));
+}
+
+TEST(Halo2D, RaggedMeshConservesDilatedBoxVolume) {
+  // 13 x 7 mesh on a 2 x 3 grid: uneven tiles; each rank's received
+  // nodes must equal its clipped dilated box minus its own tile.
+  const std::size_t nx = 13, ny = 7, ghost = 2;
+  const ProcessGrid g(2, 3);
+  BlockPartition2D part(g, nx, ny, 1, 1);
+  const auto hs = halo_transfers_2d(g, nx, ny, ghost);
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    std::size_t recv = 0;
+    for (const auto& t : hs) {
+      if (t.dst == p) recv += t.rows;
+    }
+    const NodeBox ext = part.extended(p, ghost);
+    EXPECT_EQ(recv, ext.volume() - part.owned_words(p)) << "rank " << p;
+  }
+}
+
+TEST(Halo2D, LayeredPartitionShipsWholePencils) {
+  // poisson_3d-style layered tiles: every 2-D shipment carries its nz
+  // mesh layers.
+  const ProcessGrid g(2, 2);
+  BlockPartition2D flat(g, 8, 8, 1, 1);
+  BlockPartition2D layered(g, 8, 8, 5, 1);
+  const auto h1 = flat.halo(2);
+  const auto h5 = layered.halo(2);
+  ASSERT_EQ(h1.size(), h5.size());
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_EQ(h5[i].rows, 5 * h1[i].rows);
+  }
+}
+
+TEST(BestGrid2D, FitsTheMeshAspect) {
+  // Square mesh: the most-square factorization minimizes the halo.
+  EXPECT_EQ(best_grid_2d(16, 64, 64).rows(), 4u);
+  // Long thin mesh: a 1 x 16 grid of 16 x 16 tiles beats 4 x 4.
+  const ProcessGrid long_grid = best_grid_2d(16, 256, 16);
+  EXPECT_EQ(long_grid.rows(), 1u);
+  EXPECT_EQ(long_grid.cols(), 16u);
+}
+
+TEST(BasisValidWindow, ClampsInsteadOfInverting) {
+  // Interior window that shrinks past itself: [10, 14) at level 3,
+  // radius 1 would invert to [13, 11) -- must clamp to zero rows
+  // (this is what guards rows_nnz's unsigned subtraction).
+  EXPECT_EQ(basis_valid_window(10, 14, 100, 3, 1).sz, 0u);
+  // Shrink deeper than the whole upper coordinate: no underflow.
+  EXPECT_EQ(basis_valid_window(2, 4, 100, 5, 1).sz, 0u);
+  // Domain edges stay clamped open, exactly like the full-domain
+  // recurrence (edge rows keep their one-sided stencils).
+  const BlockRange left = basis_valid_window(0, 10, 100, 2, 3);
+  EXPECT_EQ(left.off, 0u);
+  EXPECT_EQ(left.sz, 4u);  // [0, 10 - 6)
+  const BlockRange full = basis_valid_window(0, 100, 100, 7, 5);
+  EXPECT_EQ(full.off, 0u);
+  EXPECT_EQ(full.sz, 100u);
+  // Interior two-sided shrink matches the PR 4 arithmetic.
+  const BlockRange mid = basis_valid_window(20, 60, 100, 2, 4);
+  EXPECT_EQ(mid.off, 28u);
+  EXPECT_EQ(mid.sz, 24u);  // [28, 52)
+}
+
+TEST(PartitionFactory, AutoPicksGeometryAwarePartition) {
+  const auto A1 = sparse::stencil_1d(64, 2);
+  const auto p1 = make_partition(4, A1);
+  EXPECT_EQ(p1->ny(), 1u);
+  EXPECT_EQ(p1->radius(), 2u);  // 1-D: radius == bandwidth
+  const auto A2 = sparse::stencil_2d(16, 8, 1);
+  const auto p2 = make_partition(4, A2);
+  EXPECT_EQ(p2->nx(), 16u);
+  EXPECT_EQ(p2->ny(), 8u);
+  EXPECT_EQ(p2->radius(), 1u);  // 2-D: radius == stencil radius, not bw
+  const auto A3 = sparse::poisson_3d(4, 4, 4);
+  const auto p3 = make_partition(4, A3);
+  EXPECT_EQ(p3->nz(), 4u);
+  // A matrix without mesh geometry cannot be 2-D partitioned.
+  sparse::Csr bare = A1;
+  bare.nx = bare.ny = bare.nz = bare.radius = 0;
+  EXPECT_EQ(make_partition(4, bare)->ny(), 1u);
+  EXPECT_THROW(make_partition(4, bare, PartitionKind::kBlocks2D),
+               std::invalid_argument);
+  // Inconsistent self-declared geometry is refused up front instead
+  // of under-sizing the halos and reading out of bounds later.
+  sparse::Csr lying = sparse::stencil_2d(16, 8, 2);
+  lying.radius = 1;  // entries really reach 2 nodes per axis
+  EXPECT_THROW(make_partition(4, lying, PartitionKind::kBlocks2D),
+               std::invalid_argument);
+  sparse::Csr shrunk = sparse::stencil_2d(16, 8, 1);
+  shrunk.ny = 4;  // dims no longer cover the matrix
+  EXPECT_THROW(make_partition(4, shrunk, PartitionKind::kBlocks2D),
+               std::invalid_argument);
+}
+
+TEST(Partition2D, HaloBlowupOfBandwidthDerived1DGhosts) {
+  // The PR 4 bug, pinned as geometry: on a long 2-D mesh the 1-D
+  // partition's bandwidth-derived ghost (s * bw rows, bw = b*nx + b)
+  // saturates at "the whole rest of the vector" while the 2-D block
+  // partition ships only faces -- >= 10x fewer ghost words.
+  const auto A = sparse::stencil_2d(256, 16, 1);
+  const std::size_t P = 16, s = 4;
+  const std::size_t bw = A.bandwidth();
+  EXPECT_EQ(bw, 257u);
+
+  const RowPartition1D part1(ProcessGrid(P), A.n, bw);
+  const BlockPartition2D part2(best_grid_2d(P, A.nx, A.ny), A.nx, A.ny,
+                               A.nz, A.radius);
+  const auto max_recv = [&](const Partition& part, std::size_t depth) {
+    std::vector<std::size_t> recv(P, 0);
+    for (const auto& t : part.halo(depth)) recv[t.dst] += t.rows;
+    return *std::max_element(recv.begin(), recv.end());
+  };
+  const std::size_t r1 = max_recv(part1, s * part1.radius());
+  const std::size_t r2 = max_recv(part2, s * part2.radius());
+  // 1-D: 2 * 4 * 257 = 2056 clipped to n - n/P = 3840 -> 2056 rows.
+  // 2-D: 16 x 16 tiles on a 1 x 16 grid, two 4 * 16 faces = 128.
+  EXPECT_EQ(r2, 128u);
+  EXPECT_GE(r1, 10 * r2);
+  EXPECT_DOUBLE_EQ(double(r2),
+                   halo_words_2d_model(A.nx, A.ny, A.nz, 1, 16, s));
+}
+
+// ---- solves on the 2-D block partition ----------------------------------
+
+struct Problem2D {
+  sparse::Csr A;
+  std::vector<double> b;
+  std::vector<double> x_true;
+};
+
+Problem2D make_problem_2d(const sparse::Csr& A, unsigned seed) {
+  Problem2D prob;
+  prob.A = A;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  prob.x_true.resize(prob.A.n);
+  for (auto& v : prob.x_true) v = dist(rng);
+  prob.b.resize(prob.A.n);
+  sparse::spmv(prob.A, prob.x_true, prob.b);
+  return prob;
+}
+
+TEST(Partition2D, CaCgConvergesOnRaggedTiles) {
+  // 20 x 13 mesh: indivisible by every grid edge, so every multi-rank
+  // run has uneven tiles (and P = 6 gets a rectangular grid).
+  const auto prob = make_problem_2d(sparse::stencil_2d(20, 13, 1), 37);
+  const double tol = 1e-9;
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    for (std::size_t P : {1, 4, 6}) {
+      Machine m = make_machine(P);
+      const auto part = make_partition(P, prob.A);
+      std::vector<double> x(prob.A.n, 0.0);
+      CaCgOptions opt;
+      opt.s = 4;
+      opt.tol = tol;
+      opt.mode = mode;
+      const auto res = dist::ca_cg(m, *part, prob.A, prob.b, x, opt);
+      EXPECT_TRUE(res.converged) << "P=" << P;
+      double err = 0;
+      for (std::size_t i = 0; i < prob.A.n; ++i) {
+        err = std::max(err, std::abs(x[i] - prob.x_true[i]));
+      }
+      EXPECT_LT(err, 1e-6) << "P=" << P;
+    }
+  }
+}
+
+TEST(Partition2D, CgAndCaCgConvergeOnLayered3D) {
+  const auto prob = make_problem_2d(sparse::poisson_3d(6, 5, 4), 41);
+  const double tol = 1e-9;
+  for (std::size_t P : {1, 6}) {
+    Machine m = make_machine(P);
+    const auto part = make_partition(P, prob.A);
+    std::vector<double> x(prob.A.n, 0.0);
+    const auto res = dist::cg(m, *part, prob.A, prob.b, x, 2000, tol);
+    EXPECT_TRUE(res.converged) << "P=" << P;
+
+    std::vector<double> x2(prob.A.n, 0.0);
+    CaCgOptions opt;
+    opt.s = 4;
+    opt.tol = tol;
+    opt.mode = CaCgMode::kStreaming;
+    const auto res2 = dist::ca_cg(m, *part, prob.A, prob.b, x2, opt);
+    EXPECT_TRUE(res2.converged) << "P=" << P;
+  }
+}
+
+TEST(Partition2D, TinyMeshWithEmptyTilesStillSolves) {
+  // n = 9 < P = 16: most tiles are empty, and with s = 4 the ghost
+  // extent exceeds every tile -- the regression geometry for the
+  // clamped validity windows (small n, large P, ext >= own block).
+  const auto prob = make_problem_2d(sparse::stencil_2d(3, 3, 1), 43);
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    Machine m = make_machine(16);
+    const auto part = make_partition(16, prob.A);
+    std::vector<double> x(prob.A.n, 0.0);
+    CaCgOptions opt;
+    opt.s = 4;
+    opt.tol = 1e-10;
+    opt.mode = mode;
+    const auto res = dist::ca_cg(m, *part, prob.A, prob.b, x, opt);
+    EXPECT_TRUE(res.converged);
+  }
+  // Same geometry under the 1-D partition: ext = s*bw >= block size.
+  const auto prob1 = make_problem(6, 1, 47);
+  Machine m = make_machine(4);
+  std::vector<double> x(prob1.A.n, 0.0);
+  CaCgOptions opt;
+  opt.s = 4;
+  opt.tol = 1e-10;
+  const auto res = dist::ca_cg(m, prob1.A, prob1.b, x, opt);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Partition2D, P1BitwiseEqualSharedMemory) {
+  // On one rank the 2-D partition's extent is the full mesh and every
+  // basis value is computed by the identical row-wise arithmetic, so
+  // the iterates match the shared-memory solver bit for bit in both
+  // storage modes (chunking cannot move a single bit: each row's
+  // recurrence reads the same values in the same CSR order).
+  const auto prob = make_problem_2d(sparse::stencil_2d(12, 11, 1), 53);
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    CaCgOptions opt;
+    opt.s = 4;
+    opt.tol = 1e-10;
+    opt.mode = mode;
+    std::vector<double> x_shared(prob.A.n, 0.0), x_dist(prob.A.n, 0.0);
+    const auto ref = krylov::ca_cg(prob.A, prob.b, x_shared, opt);
+    Machine m = make_machine(1);
+    const auto part = make_partition(1, prob.A);
+    EXPECT_EQ(part->ny(), 11u);  // really the 2-D partition
+    const auto got = dist::ca_cg(m, *part, prob.A, prob.b, x_dist, opt);
+    EXPECT_EQ(got.iterations, ref.iterations);
+    EXPECT_EQ(std::memcmp(x_shared.data(), x_dist.data(),
+                          prob.A.n * sizeof(double)),
+              0);
+  }
+}
+
+TEST(Partition2D, ScratchReuseIsBitwiseAndCounterInvariant) {
+  const auto prob = make_problem_2d(sparse::stencil_2d(20, 13, 1), 59);
+  CaCgOptions opt;
+  opt.s = 4;
+  opt.tol = 1e-9;
+  opt.mode = CaCgMode::kStreaming;
+  for (std::size_t P : {4, 6}) {
+    const auto part = make_partition(P, prob.A);
+    Machine m_reuse = make_machine(P);
+    std::vector<double> x_reuse(prob.A.n, 0.0);
+    dist::ca_cg(m_reuse, *part, prob.A, prob.b, x_reuse, opt,
+                KrylovExec{.reuse_scratch = true});
+    Machine m_fresh = make_machine(P);
+    std::vector<double> x_fresh(prob.A.n, 0.0);
+    dist::ca_cg(m_fresh, *part, prob.A, prob.b, x_fresh, opt,
+                KrylovExec{.reuse_scratch = false});
+    EXPECT_EQ(std::memcmp(x_reuse.data(), x_fresh.data(),
+                          prob.A.n * sizeof(double)),
+              0);
+    for (std::size_t p = 0; p < P; ++p) {
+      EXPECT_EQ(m_reuse.proc(p).l3_write.words,
+                m_fresh.proc(p).l3_write.words);
+      EXPECT_EQ(m_reuse.proc(p).nw.words, m_fresh.proc(p).nw.words);
+    }
+  }
 }
 
 // ---- P = 1 bitwise equality with the shared-memory solvers --------------
@@ -262,6 +584,44 @@ INSTANTIATE_TEST_SUITE_P(
         BackendCase{6, 130, CaCgMode::kStreaming, "P6_streaming"},
         BackendCase{7, 93, CaCgMode::kStreaming, "prime_P"}),
     [](const auto& info) { return info.param.name; });
+
+TEST(Partition2D, CountersAndBitsIdenticalSerialVsThreaded) {
+  // The 2-D partition's per-rank phases under both execution
+  // backends: counters byte-identical and iterates bitwise-identical,
+  // exactly as pinned for the 1-D partition above.
+  const auto prob = make_problem_2d(sparse::stencil_2d(20, 13, 1), 61);
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    CaCgOptions opt;
+    opt.s = 4;
+    opt.tol = 1e-9;
+    opt.mode = mode;
+    const std::size_t P = 6;
+    const auto part = make_partition(P, prob.A);
+
+    Machine serial = make_machine(P, std::make_unique<SerialSimBackend>());
+    std::vector<double> x_serial(prob.A.n, 0.0);
+    const auto rs = dist::ca_cg(serial, *part, prob.A, prob.b, x_serial, opt);
+
+    Machine threaded = make_machine(P, std::make_unique<ThreadedBackend>(4));
+    std::vector<double> x_threaded(prob.A.n, 0.0);
+    const auto rt =
+        dist::ca_cg(threaded, *part, prob.A, prob.b, x_threaded, opt);
+
+    EXPECT_EQ(rs.iterations, rt.iterations);
+    EXPECT_EQ(std::memcmp(x_serial.data(), x_threaded.data(),
+                          prob.A.n * sizeof(double)),
+              0);
+    for (std::size_t p = 0; p < P; ++p) {
+      const ProcTraffic& a = serial.proc(p);
+      const ProcTraffic& c = threaded.proc(p);
+      EXPECT_EQ(a.nw.words, c.nw.words) << "proc " << p;
+      EXPECT_EQ(a.l3_read.words, c.l3_read.words) << "proc " << p;
+      EXPECT_EQ(a.l3_write.words, c.l3_write.words) << "proc " << p;
+      EXPECT_EQ(a.l2_read.words, c.l2_read.words) << "proc " << p;
+      EXPECT_EQ(a.l2_write.words, c.l2_write.words) << "proc " << p;
+    }
+  }
+}
 
 // ---- the Theta(s) write reduction, pinned exactly -----------------------
 
