@@ -94,6 +94,19 @@ inline std::unique_ptr<dist::Backend> env_backend() {
   }
 }
 
+/// Local-kernel choice from WA_KERNELS (blocked when unset),
+/// installed as the process-wide active table so every local numeric
+/// in the bench runs through it; counters are unaffected by design.
+inline linalg::KernelImpl env_kernels() {
+  try {
+    const linalg::KernelImpl impl = dist::kernels_from_env();
+    linalg::set_active_kernels(impl);
+    return impl;
+  } catch (const std::invalid_argument& e) {
+    die(e.what());
+  }
+}
+
 class Table {
  public:
   explicit Table(std::vector<std::string> headers, int width = 14)

@@ -25,17 +25,10 @@ for exe in "$BUILD_DIR"/bench/bench_* "$BUILD_DIR"/examples/example_*; do
   name=$(basename "$exe")
   case "$name" in
     *.* ) continue ;;  # skip non-binaries (e.g. .cmake droppings)
-    bench_kernels_perf )
-      # Google Benchmark harness: one tiny repetition only.  (Plain
-      # double: the "0.01s" spelling needs benchmark >= 1.8.)
-      args="--benchmark_min_time=0.01" ;;
-    * )
-      args="" ;;
   esac
   printf '== %s ==\n' "$name"
   log=$(mktemp)
-  # shellcheck disable=SC2086
-  if ! "$exe" $args >"$log" 2>&1; then
+  if ! "$exe" >"$log" 2>&1; then
     printf '!! %s FAILED; output:\n' "$name"
     cat "$log"
     status=1

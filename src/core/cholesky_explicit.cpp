@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/matmul_explicit.hpp"
+#include "linalg/local_kernels.hpp"
 
 namespace wa::core {
 
@@ -34,7 +35,7 @@ void blocked_cholesky_explicit(MatrixView<double> A, std::size_t b,
       h.load(fast, half);  // A(i,i) lower half
       for (std::size_t k = 0; k < i; ++k) {
         h.load(fast, bb);  // A(i,k)
-        linalg::syrk_lower_acc(blk(i, i), blk(i, k), blk(i, k));
+        linalg::active_kernels().syrk_lower_acc(blk(i, i), blk(i, k), blk(i, k));
         h.flops(std::uint64_t(b) * b * b);
         h.discard(fast, bb);
       }
@@ -46,12 +47,12 @@ void blocked_cholesky_explicit(MatrixView<double> A, std::size_t b,
         h.load(fast, bb);  // A(j,i)
         for (std::size_t k = 0; k < i; ++k) {
           h.load(fast, 2 * bb);  // A(i,k), A(j,k)
-          linalg::gemm_acc_bt(blk(j, i), blk(j, k), blk(i, k), -1.0);
+          linalg::active_kernels().gemm_acc_bt(blk(j, i), blk(j, k), blk(i, k), -1.0);
           h.flops(2ull * b * b * b);
           h.discard(fast, 2 * bb);
         }
         h.load(fast, half);  // A(i,i) lower half (the factor L(i,i))
-        linalg::trsm_right_lower_t(blk(i, i), blk(j, i));
+        linalg::active_kernels().trsm_right_lower_t(blk(i, i), blk(j, i));
         h.flops(std::uint64_t(b) * b * b);
         h.discard(fast, half);
         h.store(fast, bb);  // solved panel block A(j,i): its only store
@@ -70,7 +71,7 @@ void blocked_cholesky_explicit(MatrixView<double> A, std::size_t b,
 
     for (std::size_t j = i + 1; j < nb; ++j) {
       h.load(fast, bb + half);  // A(j,i) and L(i,i)
-      linalg::trsm_right_lower_t(blk(i, i), blk(j, i));
+      linalg::active_kernels().trsm_right_lower_t(blk(i, i), blk(j, i));
       h.flops(std::uint64_t(b) * b * b);
       h.discard(fast, half);
       h.store(fast, bb);
@@ -81,10 +82,10 @@ void blocked_cholesky_explicit(MatrixView<double> A, std::size_t b,
         const std::size_t out_words = (j == k) ? half : bb;
         h.load(fast, out_words + 2 * bb);
         if (j == k) {
-          linalg::syrk_lower_acc(blk(j, j), blk(j, i), blk(j, i));
+          linalg::active_kernels().syrk_lower_acc(blk(j, j), blk(j, i), blk(j, i));
           h.flops(std::uint64_t(b) * b * b);
         } else {
-          linalg::gemm_acc_bt(blk(j, k), blk(j, i), blk(k, i), -1.0);
+          linalg::active_kernels().gemm_acc_bt(blk(j, k), blk(j, i), blk(k, i), -1.0);
           h.flops(2ull * b * b * b);
         }
         h.discard(fast, 2 * bb);
@@ -100,7 +101,7 @@ void trsm_rlt_ml_rec(ConstMatrixView<double> L, MatrixView<double> B,
                      std::span<const std::size_t> bs, memsim::Hierarchy& h,
                      std::size_t level) {
   if (bs.empty()) {
-    linalg::trsm_right_lower_t(L, B);
+    linalg::active_kernels().trsm_right_lower_t(L, B);
     h.flops(std::uint64_t(L.rows()) * L.rows() * B.rows());
     return;
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "linalg/local_kernels.hpp"
+
 namespace wa::core {
 
 namespace {
@@ -31,14 +33,14 @@ void blocked_lu_explicit(MatrixView<double> A, std::size_t b,
         const std::size_t kmax = std::min(i, j);
         for (std::size_t k = 0; k < kmax; ++k) {
           h.load(fast, 2 * bb);  // L(i,k), U(k,j)
-          linalg::gemm_acc(blk(i, j), blk(i, k), blk(k, j), -1.0);
+          linalg::active_kernels().gemm_acc(blk(i, j), blk(i, k), blk(k, j), -1.0);
           h.flops(2ull * b * b * b);
           h.discard(fast, 2 * bb);
         }
         if (i < j) {
           // U(i,j) = L(i,i)^{-1} A(i,j) with unit-lower L(i,i).
           h.load(fast, bb);
-          linalg::trsm_left_unit_lower(blk(i, i), blk(i, j));
+          linalg::active_kernels().trsm_left_unit_lower(blk(i, i), blk(i, j));
           h.flops(std::uint64_t(b) * b * b);
           h.discard(fast, bb);
         } else if (i == j) {
@@ -47,7 +49,7 @@ void blocked_lu_explicit(MatrixView<double> A, std::size_t b,
         } else {
           // L(i,j) = A(i,j) U(j,j)^{-1}.
           h.load(fast, bb);
-          linalg::trsm_right_upper(blk(j, j), blk(i, j));
+          linalg::active_kernels().trsm_right_upper(blk(j, j), blk(i, j));
           h.flops(std::uint64_t(b) * b * b);
           h.discard(fast, bb);
         }
@@ -66,12 +68,12 @@ void blocked_lu_explicit(MatrixView<double> A, std::size_t b,
     h.store(fast, bb);
     for (std::size_t i = k + 1; i < nb; ++i) {
       h.load(fast, 2 * bb);  // A(i,k), U(k,k)
-      linalg::trsm_right_upper(blk(k, k), blk(i, k));
+      linalg::active_kernels().trsm_right_upper(blk(k, k), blk(i, k));
       h.flops(std::uint64_t(b) * b * b);
       h.discard(fast, bb);
       h.store(fast, bb);
       h.load(fast, 2 * bb);  // A(k,i), L(k,k)
-      linalg::trsm_left_unit_lower(blk(k, k), blk(k, i));
+      linalg::active_kernels().trsm_left_unit_lower(blk(k, k), blk(k, i));
       h.flops(std::uint64_t(b) * b * b);
       h.discard(fast, bb);
       h.store(fast, bb);
@@ -79,7 +81,7 @@ void blocked_lu_explicit(MatrixView<double> A, std::size_t b,
     for (std::size_t i = k + 1; i < nb; ++i) {
       for (std::size_t j = k + 1; j < nb; ++j) {
         h.load(fast, 3 * bb);  // A(i,j), L(i,k), U(k,j)
-        linalg::gemm_acc(blk(i, j), blk(i, k), blk(k, j), -1.0);
+        linalg::active_kernels().gemm_acc(blk(i, j), blk(i, k), blk(k, j), -1.0);
         h.flops(2ull * b * b * b);
         h.discard(fast, 2 * bb);
         h.store(fast, bb);  // partially-updated block written back

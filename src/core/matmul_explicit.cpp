@@ -3,6 +3,8 @@
 #include <optional>
 #include <utility>
 
+#include "linalg/local_kernels.hpp"
+
 namespace wa::core {
 
 namespace {
@@ -124,8 +126,9 @@ void blocked_matmul_explicit(MatrixView<double> C, ConstMatrixView<double> A,
     slot_a.want(ix.i, ix.k, bi * bk);
     slot_b.want(ix.k, ix.j, bk * bj);
 
-    linalg::gemm_acc(C.block(i0, j0, bi, bj), A.block(i0, k0, bi, bk),
-                     B.block(k0, j0, bk, bj));
+    linalg::active_kernels().gemm_acc(C.block(i0, j0, bi, bj),
+                                      A.block(i0, k0, bi, bk),
+                                      B.block(k0, j0, bk, bj), 1.0);
     h.flops(2ull * bi * bj * bk);
   });
   // Slots flush on scope exit (final C block is stored, A/B discarded).
@@ -141,9 +144,9 @@ void multilevel_rec(MatrixView<double> C, ConstMatrixView<double> A,
   if (block_sizes.empty()) {
     // Everything is resident in the fastest level; pure arithmetic.
     if (b_transposed) {
-      linalg::gemm_acc_bt(C, A, B, alpha);
+      linalg::active_kernels().gemm_acc_bt(C, A, B, alpha);
     } else {
-      linalg::gemm_acc(C, A, B, alpha);
+      linalg::active_kernels().gemm_acc(C, A, B, alpha);
     }
     h.flops(2ull * C.rows() * C.cols() * A.cols());
     return;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "linalg/local_kernels.hpp"
 
 namespace wa::core {
 
@@ -146,7 +147,7 @@ linalg::Matrix<double> strassen_ref_rec(const linalg::Matrix<double>& A,
   const std::size_t n = A.rows();
   linalg::Matrix<double> C(n, n, 0.0);
   if (n <= cutoff) {
-    linalg::gemm_acc(C.view(), A.view(), B.view());
+    linalg::active_kernels().gemm_acc(C.view(), A.view(), B.view(), 1.0);
     return C;
   }
   const std::size_t h = n / 2;

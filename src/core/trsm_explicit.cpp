@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/matmul_explicit.hpp"
+#include "linalg/local_kernels.hpp"
 
 namespace wa::core {
 
@@ -42,12 +43,12 @@ void blocked_trsm_explicit(ConstMatrixView<double> T, MatrixView<double> B,
         for (std::size_t k = i + 1; k < nb; ++k) {
           h.load(fast, bb);  // load T(i,k)
           h.load(fast, bb);  // load X(k,j)
-          linalg::gemm_acc(bb_blk(i, j), tb(i, k), bb_blk(k, j), -1.0);
+          linalg::active_kernels().gemm_acc(bb_blk(i, j), tb(i, k), bb_blk(k, j), -1.0);
           h.flops(2ull * b * b * b);
           h.discard(fast, 2 * bb);
         }
         h.load(fast, bb);  // load T(i,i)
-        linalg::trsm_left_upper(tb(i, i), bb_blk(i, j));
+        linalg::active_kernels().trsm_left_upper(tb(i, i), bb_blk(i, j));
         h.flops(std::uint64_t(b) * b * b);
         h.discard(fast, bb);  // T(i,i)
         h.store(fast, bb);    // store solved B(i,j): its only store
@@ -62,14 +63,14 @@ void blocked_trsm_explicit(ConstMatrixView<double> T, MatrixView<double> B,
   for (std::size_t i = nb; i-- > 0;) {
     for (std::size_t j = 0; j < nj; ++j) {
       h.load(fast, 2 * bb);  // T(i,i), B(i,j)
-      linalg::trsm_left_upper(tb(i, i), bb_blk(i, j));
+      linalg::active_kernels().trsm_left_upper(tb(i, i), bb_blk(i, j));
       h.flops(std::uint64_t(b) * b * b);
       h.discard(fast, bb);
       h.store(fast, bb);  // solved B(i,j)
       // Eager update of the rows above.
       for (std::size_t ii = 0; ii < i; ++ii) {
         h.load(fast, 3 * bb);  // B(ii,j), T(ii,i), X(i,j)
-        linalg::gemm_acc(bb_blk(ii, j), tb(ii, i), bb_blk(i, j), -1.0);
+        linalg::active_kernels().gemm_acc(bb_blk(ii, j), tb(ii, i), bb_blk(i, j), -1.0);
         h.flops(2ull * b * b * b);
         h.discard(fast, 2 * bb);
         h.store(fast, bb);  // partially-updated B(ii,j) written back
@@ -84,7 +85,7 @@ void trsm_ml_rec(ConstMatrixView<double> T, MatrixView<double> B,
                  std::span<const std::size_t> bs, memsim::Hierarchy& h,
                  std::size_t level) {
   if (bs.empty()) {
-    linalg::trsm_left_upper(T, B);
+    linalg::active_kernels().trsm_left_upper(T, B);
     h.flops(std::uint64_t(T.rows()) * T.rows() * B.cols());
     return;
   }

@@ -75,9 +75,18 @@ inline void charge_local_solve(memsim::Hierarchy& h, std::size_t m,
 }
 
 /// Chunk size that fits next to @p reserved resident words in L2.
+/// An over-reserved L2 (reserved > M2 - 2, leaving no room to stream
+/// even a one-word chunk next to its double buffer) is a modeling
+/// error in the caller: it used to degenerate silently into per-word
+/// charge loops (quadratic simulated event counts); now it throws.
 inline std::size_t l2_room(std::size_t M2, std::size_t reserved) {
-  const std::size_t room = M2 > reserved ? M2 - reserved : 2;
-  return std::max<std::size_t>(1, std::min(room / 2, l2_chunk(M2)));
+  if (M2 < 2 || reserved > M2 - 2) {
+    throw std::invalid_argument(
+        "l2_room: " + std::to_string(reserved) + " reserved words leave no "
+        "streaming room in an M2=" + std::to_string(M2) + "-word L2");
+  }
+  return std::max<std::size_t>(1,
+                               std::min((M2 - reserved) / 2, l2_chunk(M2)));
 }
 
 /// Stream @p words from L3 through L2 (read and discard), chunked so
@@ -111,8 +120,13 @@ inline void charge_l3_write(memsim::Hierarchy& h, std::size_t words,
 /// exceeded (pure occupancy bookkeeping: no channel traffic).
 inline void charge_l2_transit(memsim::Hierarchy& h, std::size_t words,
                               std::size_t M2, std::size_t reserved) {
-  const std::size_t room = M2 > reserved ? M2 - reserved : 2;
-  const std::size_t chunk = std::max<std::size_t>(1, room / 2);
+  if (M2 < 2 || reserved > M2 - 2) {
+    throw std::invalid_argument(
+        "charge_l2_transit: " + std::to_string(reserved) + " reserved words "
+        "leave no transit room in an M2=" + std::to_string(M2) +
+        "-word L2");
+  }
+  const std::size_t chunk = std::max<std::size_t>(1, (M2 - reserved) / 2);
   while (words > 0) {
     const std::size_t w = std::min(chunk, words);
     h.alloc(1, w);

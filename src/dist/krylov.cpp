@@ -8,6 +8,7 @@
 
 #include "dist/detail.hpp"
 #include "krylov/cacg_detail.hpp"
+#include "linalg/local_kernels.hpp"
 
 namespace wa::dist {
 namespace {
@@ -545,17 +546,13 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
         detail::charge_l3_write(h, (2 * s - 1) * osz, m.M2());
 
         kd::Small& gp = gpart[rank];
+        std::vector<const double*> wp(mm);
+        for (std::size_t a = 0; a < mm; ++a) wp[a] = W[a].data();
         for_each_run_local(
             part, o, ebox,
             [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
-              for (std::size_t i = glo; i < ghi; ++i) {
-                const std::size_t li = lb + i - glo;
-                for (std::size_t a = 0; a < mm; ++a) {
-                  for (std::size_t c = a; c < mm; ++c) {
-                    gp(a, c) += W[a][li] * W[c][li];
-                  }
-                }
-              }
+              linalg::active_kernels().gram_upper_acc(
+                  gp.a.data(), mm, wp.data(), lb, lb + (ghi - glo));
             });
         detail::charge_l3_read(h, mm * osz, m.M2());  // basis re-read
       });
@@ -580,17 +577,13 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
           detail::charge_l3_read(h, 2 * box_overlap(ebox, o), m.M2());
           detail::charge_l3_read(h, a_words, m.M2());
 
+          std::vector<const double*> wp(mm);
+          for (std::size_t a = 0; a < mm; ++a) wp[a] = W[a].data();
           for_each_run_local(
               part, c, ebox,
               [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
-                for (std::size_t i = glo; i < ghi; ++i) {
-                  const std::size_t li = lb + i - glo;
-                  for (std::size_t a = 0; a < mm; ++a) {
-                    for (std::size_t cc = a; cc < mm; ++cc) {
-                      gp(a, cc) += W[a][li] * W[cc][li];
-                    }
-                  }
-                }
+                linalg::active_kernels().gram_upper_acc(
+                    gp.a.data(), mm, wp.data(), lb, lb + (ghi - glo));
               });
         }
       });
@@ -603,9 +596,7 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
         for (std::size_t c = a; c < mm; ++c) G(a, c) += gpart[q](a, c);
       }
     }
-    for (std::size_t a = 0; a < mm; ++a) {
-      for (std::size_t c = 0; c < a; ++c) G(a, c) = G(c, a);
-    }
+    linalg::gram_mirror(G.a.data(), mm);
     rp.allreduce_charge(mm * (mm + 1) / 2);
 
     // ---- inner s steps in coordinates: O(s^2) data, replicated on

@@ -6,6 +6,7 @@
 
 #include "dist/detail.hpp"
 #include "linalg/kernels.hpp"
+#include "linalg/local_kernels.hpp"
 
 namespace wa::dist {
 namespace {
@@ -88,14 +89,14 @@ void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
           detail::charge_l3_read(h, u_words + l_words, m.M2());
           if (i == or_) {
             for (const BlockRange& cb : g.cyclic_col_blocks(n, b, j, lo)) {
-              linalg::trsm_left_unit_lower(A.block(k0, k0, bs, bs),
+              linalg::active_kernels().trsm_left_unit_lower(A.block(k0, k0, bs, bs),
                                            A.block(k0, cb.off, bs, cb.sz));
               detail::charge_local_solve(h, bs, cb.sz, bs, b1);
             }
           }
           if (j == oc) {
             for (const BlockRange& rb : g.cyclic_row_blocks(n, b, i, lo)) {
-              linalg::trsm_right_upper(A.block(k0, k0, bs, bs),
+              linalg::active_kernels().trsm_right_upper(A.block(k0, k0, bs, bs),
                                        A.block(rb.off, k0, rb.sz, bs));
               detail::charge_local_solve(h, rb.sz, bs, bs, b1);
             }
@@ -127,7 +128,7 @@ void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
       detail::charge_l3_read(h, own_rows * own_cols, m.M2());
       for (const BlockRange& rb : rbs) {
         for (const BlockRange& cb : cbs) {
-          linalg::gemm_acc(A.block(rb.off, cb.off, rb.sz, cb.sz),
+          linalg::active_kernels().gemm_acc(A.block(rb.off, cb.off, rb.sz, cb.sz),
                            A.block(rb.off, k0, rb.sz, bs),
                            A.block(k0, cb.off, bs, cb.sz), -1.0);
         }
@@ -199,10 +200,10 @@ void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
         detail::charge_l2_transit(h, k0 * kw + k0 * w, m.M2(), 0);
         for (std::size_t q0 = 0; q0 < k0; q0 += b) {
           const std::size_t qw = std::min(b, k0 - q0);
-          linalg::gemm_acc(A.block(k0, j0, kw, w), A.block(k0, q0, kw, qw),
+          linalg::active_kernels().gemm_acc(A.block(k0, j0, kw, w), A.block(k0, q0, kw, qw),
                            A.block(q0, j0, qw, w), -1.0);
         }
-        linalg::trsm_left_unit_lower(A.block(k0, k0, kw, kw),
+        linalg::active_kernels().trsm_left_unit_lower(A.block(k0, k0, kw, kw),
                                      A.block(k0, j0, kw, w));
         detail::charge_local_gemm(h, kw, w, k0, b1);
         detail::charge_local_solve(h, kw, w, kw, b1);
@@ -223,7 +224,7 @@ void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
       for (const BlockRange& rb : rbs) {
         for (std::size_t q0 = 0; q0 < j0; q0 += b) {
           const std::size_t qw = std::min(b, j0 - q0);
-          linalg::gemm_acc(A.block(rb.off, j0, rb.sz, w),
+          linalg::active_kernels().gemm_acc(A.block(rb.off, j0, rb.sz, w),
                            A.block(rb.off, q0, rb.sz, qw),
                            A.block(q0, j0, qw, w), -1.0);
         }
@@ -248,7 +249,7 @@ void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
       const std::size_t i = g.row_of(p);
       detail::charge_l2_transit(h, w * w, m.M2(), 0);  // received diag
       for (const BlockRange& rb : g.cyclic_row_blocks(n, b, i, j0 + w)) {
-        linalg::trsm_right_upper(A.block(j0, j0, w, w),
+        linalg::active_kernels().trsm_right_upper(A.block(j0, j0, w, w),
                                  A.block(rb.off, j0, rb.sz, w));
         detail::charge_local_solve(h, rb.sz, w, w, b1);
       }

@@ -5,6 +5,7 @@
 
 #include "dist/detail.hpp"
 #include "linalg/kernels.hpp"
+#include "linalg/local_kernels.hpp"
 
 namespace wa::dist {
 namespace {
@@ -100,9 +101,9 @@ void mm_25d(Machine& m, const ProcessGrid3D& g, linalg::MatrixView<double> C,
                  : partial[l - 1].block(rb.off, cb.off, rb.sz, cb.sz);
       for (std::size_t t = steps.off; t < steps.off + steps.sz; ++t) {
         if (panels[t].sz == 0) continue;
-        linalg::gemm_acc(out,
-                         A.block(rb.off, panels[t].off, rb.sz, panels[t].sz),
-                         B.block(panels[t].off, cb.off, panels[t].sz, cb.sz));
+        linalg::active_kernels().gemm_acc(
+            out, A.block(rb.off, panels[t].off, rb.sz, panels[t].sz),
+            B.block(panels[t].off, cb.off, panels[t].sz, cb.sz), 1.0);
       }
     }
 

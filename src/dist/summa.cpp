@@ -5,6 +5,7 @@
 
 #include "dist/detail.hpp"
 #include "linalg/kernels.hpp"
+#include "linalg/local_kernels.hpp"
 
 namespace wa::dist {
 namespace {
@@ -53,9 +54,10 @@ void own_block_gemm(const ProcessGrid& g, std::size_t p, std::size_t n,
   const BlockRange rb = g.row_block(n, g.row_of(p));
   const BlockRange cb = g.col_block(n, g.col_of(p));
   if (rb.sz == 0 || cb.sz == 0 || panel.sz == 0) return;
-  linalg::gemm_acc(C.block(rb.off, cb.off, rb.sz, cb.sz),
-                   A.block(rb.off, panel.off, rb.sz, panel.sz),
-                   B.block(panel.off, cb.off, panel.sz, cb.sz));
+  linalg::active_kernels().gemm_acc(
+      C.block(rb.off, cb.off, rb.sz, cb.sz),
+      A.block(rb.off, panel.off, rb.sz, panel.sz),
+      B.block(panel.off, cb.off, panel.sz, cb.sz), 1.0);
 }
 
 }  // namespace
@@ -109,9 +111,9 @@ void summa_2d_hoarding(Machine& m, const ProcessGrid& g,
     const BlockRange rb = g.row_block(L.n, g.row_of(p));
     const BlockRange cb = g.col_block(L.n, g.col_of(p));
     if (rb.sz > 0 && cb.sz > 0) {
-      linalg::gemm_acc(C.block(rb.off, cb.off, rb.sz, cb.sz),
-                       A.block(rb.off, 0, rb.sz, L.n),
-                       B.block(0, cb.off, L.n, cb.sz));
+      linalg::active_kernels().gemm_acc(C.block(rb.off, cb.off, rb.sz, cb.sz),
+                                        A.block(rb.off, 0, rb.sz, L.n),
+                                        B.block(0, cb.off, L.n, cb.sz), 1.0);
     }
     // Hoard the full A row panel and B column panel in L2 -- alloc
     // enforces that the extra memory really exists -- then multiply

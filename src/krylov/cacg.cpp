@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "krylov/cacg_detail.hpp"
+#include "linalg/local_kernels.hpp"
 
 namespace wa::krylov {
 
@@ -94,16 +95,13 @@ SolveResult ca_cg(const sparse::Csr& A, std::span<const double> b,
         out.traffic.flops += 2 * A.nnz() + n;
       }
       // Gram matrix: stream the basis once.
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t a = 0; a < m; ++a) {
-          for (std::size_t c = a; c < m; ++c) {
-            G(a, c) += V[a][i] * V[c][i];
-          }
-        }
+      {
+        std::vector<const double*> vp(m);
+        for (std::size_t a = 0; a < m; ++a) vp[a] = V[a].data();
+        linalg::active_kernels().gram_upper_acc(G.a.data(), m, vp.data(), 0,
+                                                n);
       }
-      for (std::size_t a = 0; a < m; ++a) {
-        for (std::size_t c = 0; c < a; ++c) G(a, c) = G(c, a);
-      }
+      linalg::gram_mirror(G.a.data(), m);
       out.traffic.slow_reads += std::uint64_t(m) * n;
       out.traffic.flops += std::uint64_t(m) * m * n;
     } else {
@@ -148,19 +146,13 @@ SolveResult ca_cg(const sparse::Csr& A, std::span<const double> b,
           advance(s + 1 + j, s + 1 + j + 1, j + 1, bc.theta[j]);
         }
 
-        for (std::size_t i = lo; i < hi; ++i) {
-          const std::size_t li = i - elo;
-          for (std::size_t a = 0; a < m; ++a) {
-            for (std::size_t c = a; c < m; ++c) {
-              G(a, c) += W[a][li] * W[c][li];
-            }
-          }
-        }
+        std::vector<const double*> wp(m);
+        for (std::size_t a = 0; a < m; ++a) wp[a] = W[a].data();
+        linalg::active_kernels().gram_upper_acc(G.a.data(), m, wp.data(),
+                                                lo - elo, hi - elo);
         out.traffic.flops += std::uint64_t(m) * m * (hi - lo);
       }
-      for (std::size_t a = 0; a < m; ++a) {
-        for (std::size_t c = 0; c < a; ++c) G(a, c) = G(c, a);
-      }
+      linalg::gram_mirror(G.a.data(), m);
     }
 
     // ---- Inner s steps in coordinates (all O(s^2), fast memory).

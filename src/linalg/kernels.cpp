@@ -138,7 +138,9 @@ void lu_nopivot_unblocked(MatrixView<double> A) {
   }
 }
 
-void matvec(ConstMatrixView<double> A, const double* x, double* y) {
+void matvec(ConstMatrixView<double> A, std::span<const double> x,
+            std::span<double> y) {
+  assert(x.size() == A.cols() && y.size() == A.rows());
   for (std::size_t i = 0; i < A.rows(); ++i) {
     double s = 0;
     for (std::size_t j = 0; j < A.cols(); ++j) s += A(i, j) * x[j];

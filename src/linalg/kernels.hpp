@@ -7,6 +7,8 @@
 // They are written for clarity and numerical correctness, not speed;
 // only their *memory access order* matters to this library.
 
+#include <span>
+
 #include "linalg/matrix.hpp"
 
 namespace wa::linalg {
@@ -49,7 +51,10 @@ void cholesky_unblocked(MatrixView<double> A);
 /// Throws on zero pivot.
 void lu_nopivot_unblocked(MatrixView<double> A);
 
-/// y = A * x for a dense square matrix (helper for tests).
-void matvec(ConstMatrixView<double> A, const double* x, double* y);
+/// y = A * x.  Spans carry the operand extents so the kernel can
+/// assert them like every other kernel in this file (raw pointers
+/// used to read a short x out of bounds silently in Release).
+void matvec(ConstMatrixView<double> A, std::span<const double> x,
+            std::span<double> y);
 
 }  // namespace wa::linalg

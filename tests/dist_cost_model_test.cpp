@@ -582,5 +582,35 @@ TEST(ModelRegression, DistCgPerRankW12MatchesClassicalRate) {
   }
 }
 
+TEST(L2Room, OverReservedL2Throws) {
+  // Reserving (almost) the whole L2 used to degenerate silently into
+  // per-word charge loops -- quadratic simulated event counts that
+  // looked like a slow benchmark, not a modeling bug.  Now it throws.
+  EXPECT_THROW(detail::l2_room(4096, 4095), std::invalid_argument);
+  EXPECT_THROW(detail::l2_room(4096, 4096), std::invalid_argument);
+  EXPECT_THROW(detail::l2_room(4096, 10000), std::invalid_argument);
+  EXPECT_THROW(detail::l2_room(1, 0), std::invalid_argument);
+  EXPECT_THROW(detail::l2_room(0, 0), std::invalid_argument);
+
+  memsim::Hierarchy h({192, 4096, memsim::Hierarchy::kUnbounded});
+  EXPECT_THROW(detail::charge_l3_read(h, 64, 4096, 4095),
+               std::invalid_argument);
+  EXPECT_THROW(detail::charge_l3_write(h, 64, 4096, 4095),
+               std::invalid_argument);
+  EXPECT_THROW(detail::charge_l2_transit(h, 64, 4096, 4095),
+               std::invalid_argument);
+}
+
+TEST(L2Room, BoundaryAndNormalChunks) {
+  // reserved == M2 - 2 is the tightest legal fit: one word streams
+  // next to its double buffer.
+  EXPECT_EQ(detail::l2_room(4096, 4094), 1u);
+  EXPECT_EQ(detail::l2_room(2, 0), 1u);
+  // Unreserved: the plain streaming chunk, M2 / 4.
+  EXPECT_EQ(detail::l2_room(4096, 0), detail::l2_chunk(4096));
+  // Partially reserved: half the remaining room, capped at M2 / 4.
+  EXPECT_EQ(detail::l2_room(4096, 3000), (4096u - 3000u) / 2);
+}
+
 }  // namespace
 }  // namespace wa::dist

@@ -156,7 +156,7 @@ TEST(Matvec, MatchesGemm) {
   fill_random(a, 17);
   std::vector<double> x(n, 0.0), y(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) x[i] = double(i) - 3.0;
-  matvec(a.view(), x.data(), y.data());
+  matvec(a.view(), x, y);
   for (std::size_t i = 0; i < n; ++i) {
     double s = 0;
     for (std::size_t j = 0; j < n; ++j) s += a(i, j) * x[j];
