@@ -137,6 +137,62 @@ void bench_local_kernels(bench::JsonReport& report, bench::Table& table) {
                  bench::fmt_d(t_naive / t_blocked) + "x"});
     }
   }
+
+  // Panel-shaped symmetric products: the Gram matrices of the batched
+  // Krylov solvers are tiny (m = 2s+1 basis columns or m = b <= 16
+  // RHS) against a long inner dimension (the rank's local rows), a
+  // shape the square cases above never reach.  The blocked table
+  // routes these through the accumulator-chain panel leg.
+  const std::size_t pm = 16;
+  const std::size_t pks[] = {4096, 16384, 65536};
+  for (const std::size_t pk : pks) {
+    const std::size_t reps = pk <= 4096 ? 16 : pk <= 16384 ? 8 : 4;
+    linalg::Matrix<double> a(pm, pk), b(pm, pk);
+    linalg::fill_random(a, 4);
+    linalg::fill_random(b, 5);
+    linalg::Matrix<double> base(pm, pm);
+    linalg::fill_random(base, 6);
+
+    linalg::Matrix<double> out_naive = base;
+    linalg::naive_kernels().syrk_lower_acc(out_naive.view(), a.view(),
+                                           b.view());
+    linalg::Matrix<double> out_blocked = base;
+    linalg::blocked_kernels().syrk_lower_acc(out_blocked.view(), a.view(),
+                                             b.view());
+    // Looser bar than the square cases: reordered summation over a
+    // 64k-term inner product legitimately drifts past 1e-8.
+    const double diff = linalg::max_abs_diff(out_naive, out_blocked);
+    if (!(diff < 1e-6)) {
+      bench::die("bench_kernels_perf: naive/blocked parity broke on "
+                 "syrk_panel k=" +
+                 std::to_string(pk) + " (max diff " + bench::fmt_d(diff, 3) +
+                 ")");
+    }
+
+    const std::uint64_t flops = std::uint64_t(pm) * (pm + 1) * pk;
+    linalg::Matrix<double> out = base;
+    const double t_naive = best_of(reps, [&] {
+      out = base;
+      linalg::naive_kernels().syrk_lower_acc(out.view(), a.view(), b.view());
+    });
+    const double t_blocked = best_of(reps, [&] {
+      out = base;
+      linalg::blocked_kernels().syrk_lower_acc(out.view(), a.view(),
+                                               b.view());
+    });
+    const double gf_naive = double(flops) / t_naive / 1e9;
+    const double gf_blocked = double(flops) / t_blocked / 1e9;
+
+    const std::string cname = "syrk_panel_m16_k" + std::to_string(pk);
+    report.add(cname, "flops", flops);
+    report.add(cname, "reps", std::uint64_t(reps));
+    report.add(cname, "naive_gflops_wall", gf_naive);
+    report.add(cname, "blocked_gflops_wall", gf_blocked);
+    report.add(cname, "speedup_wall", t_naive / t_blocked);
+    table.row({cname, std::to_string(pk), bench::fmt_d(gf_naive),
+               bench::fmt_d(gf_blocked),
+               bench::fmt_d(t_naive / t_blocked) + "x"});
+  }
 }
 
 void bench_substrates(bench::JsonReport& report, bench::Table& table) {

@@ -71,6 +71,28 @@ if [ -x "$BUILD_DIR/bench/bench_krylov" ]; then
   done
 fi
 
+# The batch solver driver under the full execution matrix: both
+# distributed backends x both local-kernel tables.  The driver's own
+# plan-cache check runs each time, and the counters it prints are
+# invariant under all four combinations by construction -- this smoke
+# catches a kernel or backend leaking into the planner or solvers.
+if [ -x "$BUILD_DIR/examples/example_solver_batch" ]; then
+  for be in serial threaded; do
+    for kk in naive blocked; do
+      printf '== example_solver_batch (WA_BACKEND=%s WA_KERNELS=%s) ==\n' \
+        "$be" "$kk"
+      log=$(mktemp)
+      if ! WA_BACKEND="$be" WA_THREADS=2 WA_KERNELS="$kk" \
+          "$BUILD_DIR/examples/example_solver_batch" >"$log" 2>&1; then
+        printf '!! example_solver_batch (%s/%s) FAILED; output:\n' "$be" "$kk"
+        cat "$log"
+        status=1
+      fi
+      rm -f "$log"
+    done
+  done
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "all benches and examples ran clean (WA_SCALE=$WA_SCALE, WA_BACKEND=$WA_BACKEND)"
 fi

@@ -1,0 +1,150 @@
+// A request-level batch solver driver: the Section 7 planner meets
+// the Section 8 batched solvers.  A stream of solve requests arrives
+// as (operator, batch of right-hand sides); the KrylovAutotuner picks
+// {algorithm, partition, s, basis mode, backend} per operator from
+// the machine's HwParams and the batch size, caches the verdict on
+// the operator's fingerprint, and the driver dispatches to the
+// batched distributed solvers.
+//
+//   $ ./examples/solver_batch [P] [scale] [fast|slow]
+//
+// P      ranks of the simulated machine        (default 4)
+// scale  problem-size multiplier               (default 1.0)
+// preset HwParams: fast_nvm or slow_nvm        (default slow)
+//
+// WA_BACKEND (when set) overrides the plan's backend choice;
+// WA_KERNELS picks the local-kernel table as everywhere else.
+// Neither may change a counter -- the printed word counts are
+// invariant under both.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dist/backend.hpp"
+#include "dist/krylov.hpp"
+#include "dist/machine.hpp"
+#include "dist/partition.hpp"
+#include "dist/planner.hpp"
+#include "sparse/csr.hpp"
+
+namespace {
+
+using namespace wa;
+
+/// One operator the "server" keeps seeing requests against.
+struct Operator {
+  const char* name;
+  sparse::Csr A;
+};
+
+/// Column-major n x nrhs panel of distinct smooth right-hand sides.
+std::vector<double> make_panel(std::size_t n, std::size_t nrhs) {
+  std::vector<double> B(n * nrhs);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    std::mt19937_64 rng(11 + 977 * j);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) B[j * n + i] = dist(rng);
+  }
+  return B;
+}
+
+const char* mode_name(krylov::CaCgMode m) {
+  return m == krylov::CaCgMode::kStored ? "stored" : "streaming";
+}
+
+const char* part_name(dist::PartitionKind k) {
+  return k == dist::PartitionKind::kBlocks2D ? "2d-blocks" : "1d-rows";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wa;
+
+  const std::size_t P = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 1.0;
+  const bool fast = argc > 3 && std::strcmp(argv[3], "fast") == 0;
+  const dist::HwParams hw =
+      fast ? dist::HwParams::fast_nvm() : dist::HwParams::slow_nvm();
+
+  const std::size_t n1d = std::size_t(3072 * scale);
+  const std::size_t mx = std::size_t(48 * scale), my = 32;
+  std::vector<Operator> ops;
+  ops.push_back({"tridiag-1d", sparse::stencil_1d(n1d, 1)});
+  ops.push_back({"cross-2d", sparse::stencil_2d_cross(mx, my, 1)});
+  ops.push_back({"box-2d", sparse::stencil_2d(mx, my, 1)});
+
+  dist::KrylovAutotuner tuner(hw);
+  std::printf("batch solver driver: P=%zu, preset=%s, backend=%s\n\n", P,
+              fast ? "fast_nvm" : "slow_nvm",
+              std::getenv("WA_BACKEND") != nullptr ? std::getenv("WA_BACKEND")
+                                                   : "per-plan");
+  std::printf("%-10s %6s %3s | %-28s | %5s %9s %12s\n", "operator", "n", "b",
+              "plan", "iters", "conv", "W12/solve");
+
+  const std::size_t batches[] = {1, 4, 16};
+  // Two passes over the request stream: the second is served entirely
+  // from the plan cache.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Operator& op : ops) {
+      for (const std::size_t b : batches) {
+        const dist::KrylovPlan& plan = tuner.plan(op.A, P, b);
+        if (pass > 0) continue;  // replan only; the solve is identical
+
+        std::string desc = plan.algorithm;
+        if (plan.algorithm == "ca-cg") {
+          desc += " s=" + std::to_string(plan.s);
+          desc += std::string(" ") + mode_name(plan.mode);
+        }
+        desc += std::string(" ") + part_name(plan.partition) + " " +
+                plan.backend;
+
+        // WA_BACKEND (when set) wins over the plan's choice so the
+        // run_all.sh smoke can force both execution paths.
+        auto backend = std::getenv("WA_BACKEND") != nullptr
+                           ? dist::backend_from_env()
+                           : dist::make_backend(plan.backend);
+        dist::Machine m(P, 192, 4096, std::size_t(1) << 24, hw,
+                        std::move(backend));
+        const auto part = dist::make_partition(P, op.A, plan.partition);
+
+        const std::vector<double> B = make_panel(op.A.n, b);
+        std::vector<double> X(op.A.n * b, 0.0);
+        dist::KrylovBatchResult res;
+        if (plan.algorithm == "cg") {
+          res = dist::cg_batch(m, *part, op.A, B, X, b, 400, 1e-8);
+        } else {
+          krylov::CaCgOptions opt = plan.options();
+          opt.tol = 1e-8;
+          opt.max_outer = 400;
+          res = dist::ca_cg_batch(m, *part, op.A, B, X, b, opt);
+        }
+
+        std::size_t conv = 0;
+        for (const auto& r : res.rhs) conv += r.converged ? 1 : 0;
+        double w12 = 0.0;
+        for (std::size_t p = 0; p < P; ++p) {
+          w12 += double(m.proc(p).l3_write.words);
+        }
+        std::printf("%-10s %6zu %3zu | %-28s | %5zu %6zu/%-2zu %12.0f\n",
+                    op.name, op.A.n, b, desc.c_str(), res.rhs[0].iterations,
+                    conv, b, w12 / double(b));
+      }
+    }
+  }
+
+  std::printf("\nplan cache: %zu misses, %zu hits "
+              "(the repeat pass re-planned nothing)\n",
+              tuner.misses(), tuner.hits());
+  // A served request stream is all hits after warm-up; make the smoke
+  // fail loudly if fingerprint caching ever regresses.
+  if (tuner.hits() < tuner.misses()) {
+    std::fprintf(stderr, "solver_batch: plan cache ineffective\n");
+    return 1;
+  }
+  return 0;
+}

@@ -310,6 +310,61 @@ inline std::vector<HaloTransfer> halo_transfers_2d(const ProcessGrid& g,
   return out;
 }
 
+/// Diamond variant of halo_transfers_2d for *cross* stencils (axis
+/// offsets only, e.g. the 5-point Laplacian): e applications of the
+/// stencil reach only nodes within Manhattan distance e, so a rank's
+/// depth-@p ghost region is the diamond gapx + gapy <= ghost around
+/// its tile (gap = per-axis distance to the tile), not the full
+/// dilated box.  The face strips are identical to the box variant;
+/// each corner wedge shrinks from ghost^2 to ghost*(ghost-1)/2 nodes.
+/// For radius-r cross stencils the diamond taken at ghost = s*r is a
+/// superset of the exact s-hop reach (ceil(gapx/r) + ceil(gapy/r) <=
+/// s implies gapx + gapy <= s*r), so shipping it is always safe and
+/// exact for r = 1.
+inline std::vector<HaloTransfer> halo_transfers_2d_diamond(
+    const ProcessGrid& g, std::size_t nx, std::size_t ny,
+    std::size_t ghost) {
+  std::vector<HaloTransfer> out;
+  if (ghost == 0) return out;
+  const std::size_t P = g.size();
+  std::vector<BlockRange> tx(P), ty(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    ty[p] = g.row_block(ny, g.row_of(p));
+    tx[p] = g.col_block(nx, g.col_of(p));
+  }
+  const auto gap = [](std::size_t v, const BlockRange& t) -> std::size_t {
+    if (v < t.off) return t.off - v;
+    if (v >= t.off + t.sz) return v - (t.off + t.sz) + 1;
+    return 0;
+  };
+  for (std::size_t p = 0; p < P; ++p) {
+    if (tx[p].sz == 0 || ty[p].sz == 0) continue;
+    const std::size_t ex0 = tx[p].off >= ghost ? tx[p].off - ghost : 0;
+    const std::size_t ex1 = std::min(nx, tx[p].off + tx[p].sz + ghost);
+    const std::size_t ey0 = ty[p].off >= ghost ? ty[p].off - ghost : 0;
+    const std::size_t ey1 = std::min(ny, ty[p].off + ty[p].sz + ghost);
+    for (std::size_t q = 0; q < P; ++q) {
+      if (q == p) continue;
+      if (tx[q].sz == 0 || ty[q].sz == 0) continue;
+      // Intersect q's tile with p's dilated box, then keep only the
+      // nodes inside the diamond.
+      const std::size_t x0 = std::max(ex0, tx[q].off);
+      const std::size_t x1 = std::min(ex1, tx[q].off + tx[q].sz);
+      const std::size_t y0 = std::max(ey0, ty[q].off);
+      const std::size_t y1 = std::min(ey1, ty[q].off + ty[q].sz);
+      std::size_t nodes = 0;
+      for (std::size_t y = y0; y < y1; ++y) {
+        const std::size_t gy = gap(y, ty[p]);
+        for (std::size_t x = x0; x < x1; ++x) {
+          if (gap(x, tx[p]) + gy <= ghost) ++nodes;
+        }
+      }
+      if (nodes > 0) out.push_back(HaloTransfer{q, p, nodes});
+    }
+  }
+  return out;
+}
+
 /// 3-D process topology for the 2.5D algorithms: @p c replicated
 /// layers of a ProcessGrid over P/c ranks.  Rank of (i, j, l) is
 /// l * (P/c) + layer rank, so layer 0 is the "home" layer holding the

@@ -733,4 +733,614 @@ KrylovResult ca_cg(Machine& m, const sparse::Csr& A,
   return ca_cg(m, *part, A, b, x, opt);
 }
 
+// ---- batched multi-RHS solvers ------------------------------------------
+//
+// The batch keeps nrhs fully independent per-RHS recurrences: every
+// floating-point operation an RHS sees is the one the single-RHS
+// solver would execute, in the same order, so iterates are bitwise-
+// identical for any batch composition and finished/broken-down RHS
+// drop out without perturbing the others.  Sharing happens in the
+// *charging*: words of A are read once per traversal, each halo
+// exchange is one event shipping all active panels, and each
+// allreduce is one event combining all active scalars/Grams.  Per-RHS
+// vector words carry an active-count multiplier, so at nrhs == 1
+// every counter is identical to the single-RHS solver's.
+
+namespace {
+
+void check_batch_panels(std::size_t n, std::size_t nrhs, std::size_t bsz,
+                        std::size_t xsz, const char* who) {
+  if (bsz < n * nrhs || xsz < n * nrhs) {
+    throw std::invalid_argument(std::string(who) +
+                                ": panel spans must hold n*nrhs words");
+  }
+}
+
+struct BatchSetupResult {
+  std::vector<double> delta;
+  std::vector<double> bb;
+};
+
+/// Batched residual_setup: one exchange event ships all nrhs x
+/// panels, one A traversal serves every initial residual, and the
+/// nrhs deltas travel in one allreduce event.
+BatchSetupResult residual_setup_batch(
+    PartRun& rp, const std::vector<HaloTransfer>& halo1,
+    const std::vector<std::size_t>& recv1, std::span<const double> B,
+    std::span<double> X, std::vector<std::vector<double>>& r,
+    std::vector<std::vector<double>>& p, std::vector<std::vector<double>>& w,
+    std::size_t nrhs) {
+  Machine& m = rp.m;
+  const sparse::Csr& A = rp.A;
+  const std::size_t n = A.n;
+
+  BatchSetupResult out;
+  out.delta.assign(nrhs, 0.0);
+  out.bb.assign(nrhs, 0.0);
+  std::vector<std::vector<double>> partj(nrhs,
+                                         std::vector<double>(rp.P, 0.0));
+
+  rp.exchange(halo1, nrhs);
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    const NodeBox& o = rp.own[rank];
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      const auto xj = X.subspan(j * n, n);
+      const auto bj = B.subspan(j * n, n);
+      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          w[j][i] = kd::row_dot(A, i, xj.data(), 0);
+        }
+      });
+      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          r[j][i] = bj[i] - w[j][i];
+          p[j][i] = r[j][i];
+        }
+      });
+    }
+    detail::charge_l2_transit(h, nrhs * recv1[rank], m.M2(), 0);
+    detail::charge_l3_read(
+        h, box_nnz(A, rp.part, o) + nrhs * 3 * rp.own_sz[rank], m.M2());
+    detail::charge_l3_write(h, nrhs * 2 * rp.own_sz[rank], m.M2());
+  });
+
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      double sum = 0.0;
+      for_each_run(rp.part, rp.own[rank],
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       sum += r[j][i] * r[j][i];
+                     }
+                   });
+      partj[j][rank] = sum;
+    }
+    detail::charge_l3_read(h, nrhs * 2 * rp.own_sz[rank], m.M2());
+  });
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    double sum = 0.0;
+    for (std::size_t q = 0; q < rp.P; ++q) sum += partj[j][q];
+    out.delta[j] = sum;
+  }
+  rp.allreduce_charge(nrhs);
+
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    const auto bj = B.subspan(j * n, n);
+    double bb = 0.0;
+    for (std::size_t q = 0; q < rp.P; ++q) {
+      double sum = 0.0;
+      for_each_run(rp.part, rp.own[q], [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) sum += bj[i] * bj[i];
+      });
+      bb += sum;
+    }
+    out.bb[j] = bb;
+  }
+  rp.allreduce_charge(nrhs);
+  return out;
+}
+
+/// One batched classical CG step over the RHS set @p act: the phases
+/// and per-RHS charges of cg_step with an active-count multiplier on
+/// the vector words, one exchange event, one A traversal, and one
+/// allreduce event per scalar round.  With @p check_den a non-positive
+/// or non-finite den retires that RHS after phase 1 (marked in
+/// @p broke, no phase 2/3 work or charges, no delta update), exactly
+/// mirroring the single solver's early return.
+void cg_step_batch(PartRun& rp, const std::vector<HaloTransfer>& halo1,
+                   const std::vector<std::size_t>& recv1,
+                   std::span<double> X, std::vector<std::vector<double>>& r,
+                   std::vector<std::vector<double>>& p,
+                   std::vector<std::vector<double>>& w,
+                   std::vector<double>& delta,
+                   const std::vector<std::size_t>& act, bool check_den,
+                   std::vector<char>* broke) {
+  Machine& m = rp.m;
+  const sparse::Csr& A = rp.A;
+  const std::size_t n = A.n;
+  const std::uint64_t na = act.size();
+  std::vector<std::vector<double>> partj(act.size(),
+                                         std::vector<double>(rp.P, 0.0));
+
+  rp.exchange(halo1, na);  // all active p panels travel together
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    const NodeBox& o = rp.own[rank];
+    for (std::size_t idx = 0; idx < act.size(); ++idx) {
+      const std::size_t j = act[idx];
+      double sum = 0.0;
+      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          w[j][i] = kd::row_dot(A, i, p[j].data(), 0);
+        }
+      });
+      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) sum += p[j][i] * w[j][i];
+      });
+      partj[idx][rank] = sum;
+    }
+    detail::charge_l2_transit(h, na * recv1[rank], m.M2(), 0);
+    detail::charge_l3_read(
+        h, box_nnz(A, rp.part, o) + na * 3 * rp.own_sz[rank], m.M2());
+    detail::charge_l3_write(h, na * rp.own_sz[rank], m.M2());  // w
+  });
+  rp.allreduce_charge(na);
+
+  std::vector<std::size_t> live;
+  std::vector<double> alpha(act.size(), 0.0);
+  for (std::size_t idx = 0; idx < act.size(); ++idx) {
+    const std::size_t j = act[idx];
+    double den = 0.0;
+    for (std::size_t q = 0; q < rp.P; ++q) den += partj[idx][q];
+    if (check_den && (den <= 0 || !std::isfinite(den))) {
+      if (broke != nullptr) (*broke)[j] = 1;
+      continue;
+    }
+    alpha[idx] = delta[j] / den;
+    live.push_back(idx);
+  }
+  if (live.empty()) return;
+  const std::uint64_t nl = live.size();
+
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    const NodeBox& o = rp.own[rank];
+    for (const std::size_t idx : live) {
+      const std::size_t j = act[idx];
+      const auto xj = X.subspan(j * n, n);
+      double sum = 0.0;
+      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) xj[i] += alpha[idx] * p[j][i];
+        for (std::size_t i = lo; i < hi; ++i) r[j][i] -= alpha[idx] * w[j][i];
+        for (std::size_t i = lo; i < hi; ++i) sum += r[j][i] * r[j][i];
+      });
+      partj[idx][rank] = sum;
+    }
+    detail::charge_l3_read(h, nl * 6 * rp.own_sz[rank], m.M2());
+    detail::charge_l3_write(h, nl * 2 * rp.own_sz[rank], m.M2());  // x, r
+  });
+  rp.allreduce_charge(nl);
+  std::vector<double> beta(act.size(), 0.0);
+  for (const std::size_t idx : live) {
+    const std::size_t j = act[idx];
+    double delta_new = 0.0;
+    for (std::size_t q = 0; q < rp.P; ++q) delta_new += partj[idx][q];
+    beta[idx] = delta_new / delta[j];
+    delta[j] = delta_new;
+  }
+
+  m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+    for (const std::size_t idx : live) {
+      const std::size_t j = act[idx];
+      for_each_run(rp.part, rp.own[rank],
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       p[j][i] = r[j][i] + beta[idx] * p[j][i];
+                     }
+                   });
+    }
+    detail::charge_l3_read(h, nl * 2 * rp.own_sz[rank], m.M2());
+    detail::charge_l3_write(h, nl * rp.own_sz[rank], m.M2());  // p
+  });
+}
+
+}  // namespace
+
+KrylovBatchResult cg_batch(Machine& m, const Partition& part,
+                           const sparse::Csr& A, std::span<const double> B,
+                           std::span<double> X, std::size_t nrhs,
+                           std::size_t max_iters, double tol) {
+  const std::size_t n = A.n;
+  check_batch_panels(n, nrhs, B.size(), X.size(), "dist::cg_batch");
+  PartRun rp(m, A, part);
+  const auto halo1 = part.halo(part.radius());
+  const auto recv1 = recv_rows(halo1, rp.P);
+
+  KrylovBatchResult out;
+  out.rhs.resize(nrhs);
+  if (nrhs == 0) return out;
+
+  std::vector<std::vector<double>> r(nrhs, std::vector<double>(n));
+  std::vector<std::vector<double>> p(nrhs, std::vector<double>(n));
+  std::vector<std::vector<double>> w(nrhs, std::vector<double>(n));
+
+  const BatchSetupResult init =
+      residual_setup_batch(rp, halo1, recv1, B, X, r, p, w, nrhs);
+  std::vector<double> delta = init.delta, stop(nrhs);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    stop[j] = tol * tol * init.bb[j];
+  }
+  std::vector<char> done(nrhs, 0);
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<std::size_t> act;
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (done[j]) continue;
+      if (delta[j] <= stop[j]) {
+        out.rhs[j].converged = true;
+        done[j] = 1;
+      } else {
+        act.push_back(j);
+      }
+    }
+    if (act.empty()) break;
+    cg_step_batch(rp, halo1, recv1, X, r, p, w, delta, act,
+                  /*check_den=*/false, nullptr);
+    for (const std::size_t j : act) ++out.rhs[j].iterations;
+  }
+
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    const auto bj = B.subspan(j * n, n);
+    out.rhs[j].residual_norm = true_residual(A, bj, X.subspan(j * n, n));
+    if (!out.rhs[j].converged) {
+      out.rhs[j].converged =
+          out.rhs[j].residual_norm <= tol * sparse::norm2(bj);
+    }
+  }
+  return out;
+}
+
+KrylovBatchResult ca_cg_batch(Machine& m, const Partition& part,
+                              const sparse::Csr& A,
+                              std::span<const double> B, std::span<double> X,
+                              std::size_t nrhs, const CaCgOptions& opt,
+                              const KrylovExec& exec) {
+  const std::size_t n = A.n;
+  const std::size_t s = opt.s;
+  if (s == 0) throw std::invalid_argument("dist::ca_cg_batch: s >= 1");
+  check_batch_panels(n, nrhs, B.size(), X.size(), "dist::ca_cg_batch");
+  const std::size_t mm = 2 * s + 1;
+  const kd::BasisCoeffs bc =
+      kd::make_basis(A, s, opt.basis == CaCgBasis::kNewton);
+
+  PartRun rp(m, A, part);
+  const std::size_t P = rp.P;
+  const std::size_t ext = s * part.radius();
+  std::size_t block_rows = opt.block_rows;
+  if (block_rows == 0) {
+    block_rows = std::max<std::size_t>(4 * s * part.radius(), 256);
+  }
+  const auto halo1 = part.halo(part.radius());
+  const auto recv1 = recv_rows(halo1, P);
+  const auto halo_s = part.halo(ext);
+  const auto recv_s = recv_rows(halo_s, P);
+
+  KrylovBatchResult out;
+  out.rhs.resize(nrhs);
+  if (nrhs == 0) return out;
+
+  std::vector<std::vector<double>> r(nrhs, std::vector<double>(n));
+  std::vector<std::vector<double>> p(nrhs, std::vector<double>(n));
+  std::vector<std::vector<double>> w(nrhs, std::vector<double>(n));
+
+  const BatchSetupResult init =
+      residual_setup_batch(rp, halo1, recv1, B, X, r, p, w, nrhs);
+  std::vector<double> delta = init.delta, stop(nrhs), delta_enter(nrhs, 0.0);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    stop[j] = opt.tol * opt.tol * init.bb[j];
+  }
+
+  std::vector<std::size_t> restarts(nrhs, 0);
+  constexpr std::size_t kMaxRestarts = 25;
+  std::vector<char> finished(nrhs, 0);
+
+  std::vector<std::vector<double>> x_snap(nrhs), p_snap(nrhs), r_snap(nrhs);
+  std::vector<std::vector<double>> pn(nrhs), rn(nrhs);
+
+  // Per-rank scratch: the stored mode keeps every RHS's extended
+  // basis alive until recovery (rank x RHS slots); the streaming mode
+  // rebuilds blockwise, so one basis block per rank is recycled
+  // across chunks and RHS.  Gram partials are per rank per RHS.
+  std::vector<std::vector<std::vector<std::vector<double>>>> Vloc(
+      P, std::vector<std::vector<std::vector<double>>>(nrhs));
+  std::vector<std::vector<std::vector<double>>> Wloc(P);
+  std::vector<std::vector<kd::Small>> gpart(
+      P, std::vector<kd::Small>(nrhs, kd::Small(mm)));
+  std::vector<std::vector<double>> partj(nrhs,
+                                         std::vector<double>(P, 0.0));
+
+  for (std::size_t outer = 0; outer < opt.max_outer; ++outer) {
+    std::vector<std::size_t> act;
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (finished[j]) continue;
+      if (delta[j] <= stop[j]) {
+        out.rhs[j].converged = true;
+        finished[j] = 1;
+      } else {
+        act.push_back(j);
+      }
+    }
+    if (act.empty()) break;
+    const std::uint64_t na = act.size();
+
+    for (const std::size_t j : act) {
+      delta_enter[j] = delta[j];
+      const auto xj = X.subspan(j * n, n);
+      x_snap[j].assign(xj.begin(), xj.end());
+      p_snap[j] = p[j];
+      r_snap[j] = r[j];
+    }
+
+    std::vector<kd::Small> G(nrhs, kd::Small(mm));
+    for (std::size_t q = 0; q < P; ++q) {
+      for (const std::size_t j : act) {
+        std::fill(gpart[q][j].a.begin(), gpart[q][j].a.end(), 0.0);
+      }
+    }
+
+    // One ghost exchange event per outer iteration ships the p and r
+    // panels of every active RHS together.
+    rp.exchange(halo_s, 2 * na);
+
+    if (opt.mode == CaCgMode::kStored) {
+      m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+        const NodeBox& o = rp.own[rank];
+        if (o.empty()) {
+          for (const std::size_t j : act) Vloc[rank][j].clear();
+          return;
+        }
+        const std::size_t osz = rp.own_sz[rank];
+        const NodeBox ebox = part.extended(rank, ext);
+        std::uint64_t a_words = 0;
+        for (const std::size_t j : act) {
+          auto& W = Vloc[rank][j];
+          // Identical geometry for every RHS, so a_words is the same
+          // each time; it is charged once for the whole batch below.
+          a_words = build_basis_box(A, part, bc, s, p[j], r[j], ebox, W,
+                                    exec.reuse_scratch);
+          kd::Small& gp = gpart[rank][j];
+          std::vector<const double*> wp(mm);
+          for (std::size_t a = 0; a < mm; ++a) wp[a] = W[a].data();
+          for_each_run_local(
+              part, o, ebox,
+              [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+                linalg::active_kernels().gram_upper_acc(
+                    gp.a.data(), mm, wp.data(), lb, lb + (ghi - glo));
+              });
+        }
+        detail::charge_l2_transit(h, 2 * na * recv_s[rank], m.M2(), 0);
+        detail::charge_l3_read(h, na * 2 * osz, m.M2());
+        detail::charge_l3_write(h, na * 2 * osz, m.M2());  // basis heads
+        detail::charge_l3_read(h, a_words, m.M2());        // A, shared
+        detail::charge_l3_write(h, na * (2 * s - 1) * osz, m.M2());
+        detail::charge_l3_read(h, na * mm * osz, m.M2());  // Gram re-read
+      });
+    } else {
+      m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+        const NodeBox& o = rp.own[rank];
+        if (o.empty()) return;
+        detail::charge_l2_transit(h, 2 * na * recv_s[rank], m.M2(), 0);
+        auto& W = Wloc[rank];
+        for (const NodeBox& c : stream_chunks(part, o, block_rows)) {
+          const NodeBox ebox = dilate_clipped(part, c, ext);
+          std::uint64_t a_words = 0;
+          for (const std::size_t j : act) {
+            a_words = build_basis_box(A, part, bc, s, p[j], r[j], ebox, W,
+                                      exec.reuse_scratch);
+            kd::Small& gp = gpart[rank][j];
+            std::vector<const double*> wp(mm);
+            for (std::size_t a = 0; a < mm; ++a) wp[a] = W[a].data();
+            for_each_run_local(
+                part, c, ebox,
+                [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+                  linalg::active_kernels().gram_upper_acc(
+                      gp.a.data(), mm, wp.data(), lb, lb + (ghi - glo));
+                });
+          }
+          detail::charge_l3_read(h, na * 2 * box_overlap(ebox, o), m.M2());
+          detail::charge_l3_read(h, a_words, m.M2());  // A, shared
+        }
+      });
+    }
+
+    // Gram combine per RHS, one allreduce event for all active
+    // triangles.
+    for (const std::size_t j : act) {
+      for (std::size_t q = 0; q < P; ++q) {
+        for (std::size_t a = 0; a < mm; ++a) {
+          for (std::size_t c = a; c < mm; ++c) G[j](a, c) += gpart[q][j](a, c);
+        }
+      }
+      linalg::gram_mirror(G[j].a.data(), mm);
+    }
+    rp.allreduce_charge(na * (mm * (mm + 1) / 2));
+
+    std::vector<std::vector<double>> xh(nrhs), ph(nrhs), rh(nrhs);
+    std::vector<std::size_t> act2;
+    for (const std::size_t j : act) {
+      xh[j].assign(mm, 0.0);
+      ph[j].assign(mm, 0.0);
+      rh[j].assign(mm, 0.0);
+      ph[j][0] = 1.0;
+      rh[j][s + 1] = 1.0;
+      krylov::Traffic fast;  // inner-step flops; no slow channel
+      const auto inner =
+          kd::inner_steps(s, bc, G[j], xh[j], ph[j], rh[j], delta[j], fast);
+      if (inner.breakdown) {
+        finished[j] = 1;
+        continue;
+      }
+      out.rhs[j].iterations += s;
+      act2.push_back(j);
+    }
+    if (act2.empty()) continue;
+    const std::uint64_t na2 = act2.size();
+
+    if (opt.mode == CaCgMode::kStored) {
+      m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+        const NodeBox& o = rp.own[rank];
+        if (o.empty()) return;
+        const std::size_t osz = rp.own_sz[rank];
+        const NodeBox ebox = part.extended(rank, ext);
+        for (const std::size_t j : act2) {
+          const auto xj = X.subspan(j * n, n);
+          const auto& W = Vloc[rank][j];
+          for_each_run_local(
+              part, o, ebox,
+              [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+                for (std::size_t i = glo; i < ghi; ++i) {
+                  const std::size_t li = lb + i - glo;
+                  double np = 0, nr = 0, nx2 = xj[i];
+                  for (std::size_t a = 0; a < mm; ++a) {
+                    np += W[a][li] * ph[j][a];
+                    nr += W[a][li] * rh[j][a];
+                    nx2 += W[a][li] * xh[j][a];
+                  }
+                  p[j][i] = np;
+                  r[j][i] = nr;
+                  xj[i] = nx2;
+                }
+              });
+        }
+        detail::charge_l3_read(h, na2 * (mm * osz + osz), m.M2());
+        detail::charge_l3_write(h, na2 * 3 * osz, m.M2());
+      });
+    } else {
+      for (const std::size_t j : act2) {
+        pn[j].resize(n);
+        rn[j].resize(n);
+      }
+      m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+        const NodeBox& o = rp.own[rank];
+        if (o.empty()) return;
+        auto& W = Wloc[rank];
+        for (const NodeBox& c : stream_chunks(part, o, block_rows)) {
+          const NodeBox ebox = dilate_clipped(part, c, ext);
+          std::uint64_t a_words = 0;
+          for (const std::size_t j : act2) {
+            a_words = build_basis_box(A, part, bc, s, p[j], r[j], ebox, W,
+                                      exec.reuse_scratch);
+            const auto xj = X.subspan(j * n, n);
+            for_each_run_local(
+                part, c, ebox,
+                [&](std::size_t glo, std::size_t ghi, std::size_t lb) {
+                  for (std::size_t i = glo; i < ghi; ++i) {
+                    const std::size_t li = lb + i - glo;
+                    double np = 0, nr = 0, nx2 = xj[i];
+                    for (std::size_t a = 0; a < mm; ++a) {
+                      np += W[a][li] * ph[j][a];
+                      nr += W[a][li] * rh[j][a];
+                      nx2 += W[a][li] * xh[j][a];
+                    }
+                    pn[j][i] = np;
+                    rn[j][i] = nr;
+                    xj[i] = nx2;
+                  }
+                });
+          }
+          const std::size_t csz = c.volume();
+          detail::charge_l3_read(h, na2 * 2 * box_overlap(ebox, o), m.M2());
+          detail::charge_l3_read(h, a_words, m.M2());      // A, shared
+          detail::charge_l3_read(h, na2 * csz, m.M2());    // x
+          detail::charge_l3_write(h, na2 * 3 * csz, m.M2());  // x, p, r
+        }
+      });
+      for (const std::size_t j : act2) {
+        p[j].swap(pn[j]);
+        r[j].swap(rn[j]);
+      }
+    }
+
+    m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
+      for (const std::size_t j : act2) {
+        double sum = 0.0;
+        for_each_run(part, rp.own[rank], [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) sum += r[j][i] * r[j][i];
+        });
+        partj[j][rank] = sum;
+      }
+      detail::charge_l3_read(h, na2 * 2 * rp.own_sz[rank], m.M2());
+    });
+    rp.allreduce_charge(na2);
+
+    std::vector<std::size_t> restart_set;
+    for (const std::size_t j : act2) {
+      double delta_true = 0.0;
+      for (std::size_t q = 0; q < P; ++q) delta_true += partj[j][q];
+      if (!std::isfinite(delta_true) ||
+          delta_true > 16.0 * delta_enter[j]) {
+        if (++restarts[j] > kMaxRestarts) {
+          finished[j] = 1;
+          continue;
+        }
+        out.rhs[j].iterations -= s;
+        const auto xj = X.subspan(j * n, n);
+        std::copy(x_snap[j].begin(), x_snap[j].end(), xj.begin());
+        for (std::size_t i = 0; i < n; ++i) {
+          p[j][i] = p_snap[j][i];
+          r[j][i] = r_snap[j][i];
+        }
+        delta[j] = delta_enter[j];
+        restart_set.push_back(j);
+      } else {
+        delta[j] = delta_true;
+      }
+    }
+
+    // Batched classical-CG fallback for the rolled-back RHS: each of
+    // the s steps is one shared traversal/exchange over the RHS still
+    // falling back; a den breakdown retires its RHS from the fallback
+    // only (it rejoins the next outer iteration).
+    if (!restart_set.empty()) {
+      std::vector<char> fb_broke(nrhs, 0);
+      for (std::size_t step = 0; step < s; ++step) {
+        std::vector<std::size_t> R;
+        for (const std::size_t j : restart_set) {
+          if (!fb_broke[j] && delta[j] > stop[j]) R.push_back(j);
+        }
+        if (R.empty()) break;
+        cg_step_batch(rp, halo1, recv1, X, r, p, w, delta, R,
+                      /*check_den=*/true, &fb_broke);
+        for (const std::size_t j : R) {
+          if (!fb_broke[j]) ++out.rhs[j].iterations;
+        }
+      }
+    }
+  }
+
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    const auto bj = B.subspan(j * n, n);
+    out.rhs[j].residual_norm = true_residual(A, bj, X.subspan(j * n, n));
+    if (!out.rhs[j].converged) {
+      out.rhs[j].converged =
+          out.rhs[j].residual_norm <= opt.tol * sparse::norm2(bj) * 10.0;
+    }
+  }
+  return out;
+}
+
+KrylovBatchResult cg_batch(Machine& m, const sparse::Csr& A,
+                           std::span<const double> B, std::span<double> X,
+                           std::size_t nrhs, std::size_t max_iters,
+                           double tol) {
+  const auto part = make_partition(m.nprocs(), A);
+  return cg_batch(m, *part, A, B, X, nrhs, max_iters, tol);
+}
+
+KrylovBatchResult ca_cg_batch(Machine& m, const sparse::Csr& A,
+                              std::span<const double> B, std::span<double> X,
+                              std::size_t nrhs,
+                              const CaCgOptions& opt) {
+  const auto part = make_partition(m.nprocs(), A);
+  return ca_cg_batch(m, *part, A, B, X, nrhs, opt);
+}
+
 }  // namespace wa::dist

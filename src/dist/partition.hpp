@@ -167,10 +167,16 @@ class RowPartition1D final : public Partition {
 /// pencil of nz layers (see file comment).
 class BlockPartition2D final : public Partition {
  public:
+  /// @p cross_halo: the matrix is a cross stencil (axis offsets
+  /// only), so halo() ships the Manhattan-diamond ghost region
+  /// instead of the full dilated box -- a strict subset, exact for
+  /// radius-1 stencils and a safe superset of the s-hop reach
+  /// otherwise (see halo_transfers_2d_diamond).
   BlockPartition2D(ProcessGrid g, std::size_t mesh_nx, std::size_t mesh_ny,
-                   std::size_t mesh_nz, std::size_t radius)
+                   std::size_t mesh_nz, std::size_t radius,
+                   bool cross_halo = false)
       : Partition(std::move(g)), nx_(mesh_nx), ny_(mesh_ny), nz_(mesh_nz),
-        radius_(std::max<std::size_t>(1, radius)) {
+        radius_(std::max<std::size_t>(1, radius)), cross_halo_(cross_halo) {
     if (nx_ == 0 || ny_ == 0 || nz_ == 0) {
       throw std::invalid_argument("BlockPartition2D: empty mesh");
     }
@@ -188,13 +194,18 @@ class BlockPartition2D final : public Partition {
   }
 
   std::vector<HaloTransfer> halo(std::size_t depth) const override {
-    std::vector<HaloTransfer> out = halo_transfers_2d(grid(), nx_, ny_, depth);
+    std::vector<HaloTransfer> out =
+        cross_halo_ ? halo_transfers_2d_diamond(grid(), nx_, ny_, depth)
+                    : halo_transfers_2d(grid(), nx_, ny_, depth);
     for (HaloTransfer& t : out) t.rows *= nz_;  // whole pencils travel
     return out;
   }
 
+  bool cross_halo() const { return cross_halo_; }
+
  private:
   std::size_t nx_, ny_, nz_, radius_;
+  bool cross_halo_;
 };
 
 /// The pr x pc factorization of P whose tiles of the nx x ny mesh
@@ -273,7 +284,8 @@ inline std::unique_ptr<Partition> make_partition(
     }
     check_mesh_geometry(A);
     return std::make_unique<BlockPartition2D>(best_grid_2d(P, A.nx, A.ny),
-                                              A.nx, A.ny, A.nz, A.radius);
+                                              A.nx, A.ny, A.nz, A.radius,
+                                              A.cross);
   }
   return std::make_unique<RowPartition1D>(
       ProcessGrid(P), A.n, std::max<std::size_t>(1, A.bandwidth()));

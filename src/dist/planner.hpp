@@ -17,9 +17,16 @@
 // "how close was it" rather than just the winner.
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "dist/cost_model.hpp"
+#include "dist/krylov.hpp"
+#include "dist/partition.hpp"
+#include "sparse/csr.hpp"
 
 namespace wa::dist {
 
@@ -85,6 +92,182 @@ class Planner {
  private:
   HwParams hw_;
   PlannerProblem problem_;
+};
+
+// ---------------------------------------------------------------------
+// Request-level Krylov autotuning: a batch driver serving many solves
+// against a few recurring operators asks, per request, "which solver
+// configuration is predicted fastest for THIS operator at THIS batch
+// size" -- and must not re-plan (or re-partition) on every request
+// for an operator it has already seen.
+
+/// Identity of an operator for plan caching: dimensions, nnz, and the
+/// generator metadata (mesh dims, stencil radius, cross pattern) that
+/// determine the partition geometry and halo volumes.  Two matrices
+/// with equal fingerprints get the same plan.
+struct MatrixFingerprint {
+  std::size_t n = 0, nnz = 0;
+  std::size_t nx = 0, ny = 0, nz = 0, radius = 0;
+  bool cross = false;
+
+  auto tie() const { return std::tie(n, nnz, nx, ny, nz, radius, cross); }
+  friend bool operator==(const MatrixFingerprint& a,
+                         const MatrixFingerprint& b) {
+    return a.tie() == b.tie();
+  }
+  friend bool operator<(const MatrixFingerprint& a,
+                        const MatrixFingerprint& b) {
+    return a.tie() < b.tie();
+  }
+};
+
+inline MatrixFingerprint fingerprint(const sparse::Csr& A) {
+  return MatrixFingerprint{A.n, A.nnz(), A.nx, A.ny, A.nz, A.radius, A.cross};
+}
+
+/// One tuned solver configuration: everything the batch driver needs
+/// to dispatch a request, plus the modelled per-iteration per-solve
+/// time that won the comparison.
+struct KrylovPlan {
+  std::string algorithm;  ///< "cg" or "ca-cg"
+  PartitionKind partition = PartitionKind::kRows1D;
+  std::size_t s = 0;  ///< 0 for classical CG
+  krylov::CaCgMode mode = krylov::CaCgMode::kStreaming;
+  krylov::CaCgBasis basis = krylov::CaCgBasis::kMonomial;
+  std::string backend;       ///< "serial" or "threaded"
+  double predicted_seconds;  ///< modelled time per CG step per solve
+
+  /// CA-CG options matching the plan (meaningless for "cg").
+  krylov::CaCgOptions options() const {
+    krylov::CaCgOptions opt;
+    opt.s = s;
+    opt.mode = mode;
+    opt.basis = basis;
+    return opt;
+  }
+};
+
+/// Plans batched Krylov requests from the closed forms in
+/// dist/krylov.hpp weighted by the HwParams betas, caching the
+/// verdict per (operator fingerprint, P, batch size).  Candidates:
+/// classical CG, and CA-CG {stored, streaming} x s in {2, 4, 8, 16}
+/// (Newton basis past s = 8, where the monomial basis degrades).
+class KrylovAutotuner {
+ public:
+  explicit KrylovAutotuner(HwParams hw) : hw_(hw) {}
+
+  /// The tuned plan for solving @p A with batches of @p b RHS on
+  /// @p P ranks.  First request per fingerprint runs the model sweep
+  /// (a miss); repeats are served from the cache (hits).
+  const KrylovPlan& plan(const sparse::Csr& A, std::size_t P,
+                         std::size_t b) {
+    const Key key{fingerprint(A), P, std::max<std::size_t>(1, b)};
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    return cache_.emplace(key, tune(key)).first->second;
+  }
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    MatrixFingerprint fp;
+    std::size_t P, b;
+    friend bool operator<(const Key& a, const Key& b2) {
+      return std::tie(a.fp, a.P, a.b) < std::tie(b2.fp, b2.P, b2.b);
+    }
+  };
+
+  /// Ghost words an interior rank receives from one depth-e exchange
+  /// under the partition the fingerprint implies.
+  double ghost_words(const MatrixFingerprint& fp, std::size_t P,
+                     std::size_t e) const {
+    if (fp.nx != 0 && fp.ny * fp.nz > 1) {
+      const ProcessGrid g = best_grid_2d(P, fp.nx, fp.ny);
+      return fp.cross ? halo_words_2d_diamond_model(fp.nx, fp.ny, fp.nz,
+                                                    g.rows(), g.cols(), e)
+                      : halo_words_2d_model(fp.nx, fp.ny, fp.nz, g.rows(),
+                                            g.cols(), e);
+    }
+    return halo_words_1d_model(fp.n, P, e);
+  }
+
+  /// Modelled time per CG step per solve of one candidate: the W12
+  /// write stream and the per-RHS vector reads are flat in b; the
+  /// A-word stream and the per-event message latency amortize as 1/b
+  /// (the batched-solver counters pin these shapes -- see
+  /// tests/krylov_batch_test.cpp).
+  double step_cost(const MatrixFingerprint& fp, std::size_t P,
+                   std::size_t b, std::size_t s,
+                   krylov::CaCgMode mode) const {
+    const double n = double(fp.n), Pd = double(P), bd = double(b);
+    const double osz = n / Pd;
+    const double nnz_rank = double(fp.nnz) / Pd;
+    const double rounds = double(Machine::bcast_rounds(P));
+    const double r = double(std::max<std::size_t>(1, fp.radius));
+    if (s == 0) {  // classical CG
+      const double w = cg_model_writes_per_step(fp.n, P);
+      const double reads = 2.0 * nnz_rank / bd + 11.0 * osz;
+      const double nw = 2.0 * ghost_words(fp, P, fp.radius) +
+                        2.0 * rounds * 2.0;
+      const double msgs = (2.0 + 2.0 * 2.0 * rounds) / bd;
+      return hw_.beta_23 * w + hw_.beta_32 * reads + hw_.beta_nw * nw +
+             hw_.alpha_nw * msgs;
+    }
+    const double sd = double(s);
+    const double mm = 2.0 * sd + 1.0;
+    const double gram = mm * (mm + 1.0) / 2.0;
+    const double passes = mode == krylov::CaCgMode::kStreaming ? 2.0 : 1.0;
+    const double w = cacg_model_writes_per_step(fp.n, P, s, mode);
+    // A-words per outer: each of the 2s-1 basis levels re-streams the
+    // rank's rows (values + column indices), plus the shrinking ghost
+    // margin of ~r per level per side.
+    const double awords =
+        passes * ((2.0 * sd - 1.0) * 2.0 * nnz_rank +
+                  2.0 * (2.0 * r + 1.0) * 2.0 * r * sd * (sd - 1.0));
+    const double reads = awords / bd + (2.0 * mm + 5.0) * osz;
+    const double nw = 4.0 * ghost_words(fp, P, s * fp.radius) +
+                      2.0 * rounds * (gram + 1.0);
+    const double msgs = (2.0 + 2.0 * 2.0 * rounds) / bd;
+    return (hw_.beta_32 * (reads / sd) + hw_.beta_nw * (nw / sd) +
+            hw_.alpha_nw * (msgs / sd)) +
+           hw_.beta_23 * w;
+  }
+
+  KrylovPlan tune(const Key& key) const {
+    const bool mesh = key.fp.nx != 0 && key.fp.ny * key.fp.nz > 1;
+    KrylovPlan best;
+    best.algorithm = "cg";
+    best.partition = mesh ? PartitionKind::kBlocks2D : PartitionKind::kRows1D;
+    best.backend = key.P >= 4 ? "threaded" : "serial";
+    best.s = 0;
+    best.predicted_seconds = step_cost(key.fp, key.P, key.b, 0,
+                                       krylov::CaCgMode::kStored);
+    for (const std::size_t s : {2, 4, 8, 16}) {
+      for (const auto mode :
+           {krylov::CaCgMode::kStored, krylov::CaCgMode::kStreaming}) {
+        const double t = step_cost(key.fp, key.P, key.b, s, mode);
+        if (t < best.predicted_seconds) {
+          best.algorithm = "ca-cg";
+          best.s = s;
+          best.mode = mode;
+          best.basis = s > 8 ? krylov::CaCgBasis::kNewton
+                             : krylov::CaCgBasis::kMonomial;
+          best.predicted_seconds = t;
+        }
+      }
+    }
+    return best;
+  }
+
+  HwParams hw_;
+  std::map<Key, KrylovPlan> cache_;
+  std::size_t hits_ = 0, misses_ = 0;
 };
 
 }  // namespace wa::dist

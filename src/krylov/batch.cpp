@@ -1,0 +1,505 @@
+#include "krylov/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "krylov/cacg_detail.hpp"
+#include "linalg/local_kernels.hpp"
+
+namespace wa::krylov {
+
+using detail::BasisCoeffs;
+using detail::Small;
+
+// Both batched solvers keep b fully independent per-RHS recurrences:
+// every floating-point operation an RHS sees is the one the
+// single-RHS solver would have executed, in the same order, so the
+// iterates are bitwise-identical for any batch composition.  Sharing
+// happens only in the *charging*: words of A (values + column
+// indices) are read once per traversal and serve every active RHS,
+// while per-RHS vector words are charged per RHS.  At nrhs == 1 every
+// charge reduces exactly to the single-RHS solver's.
+
+namespace {
+
+void check_panels(std::size_t n, std::size_t nrhs, std::size_t bsz,
+                  std::size_t xsz, const char* who) {
+  if (bsz < n * nrhs || xsz < n * nrhs) {
+    throw std::invalid_argument(std::string(who) +
+                                ": panel spans must hold n*nrhs words");
+  }
+}
+
+}  // namespace
+
+BatchResult cg_batch(const sparse::Csr& A, std::span<const double> B,
+                     std::span<double> X, std::size_t nrhs,
+                     std::size_t max_iters, double tol) {
+  const std::size_t n = A.n;
+  check_panels(n, nrhs, B.size(), X.size(), "cg_batch");
+  BatchResult out;
+  out.rhs.resize(nrhs);
+  if (nrhs == 0) return out;
+
+  std::vector<std::vector<double>> r(nrhs, std::vector<double>(n));
+  std::vector<std::vector<double>> p(nrhs, std::vector<double>(n));
+  std::vector<std::vector<double>> w(nrhs, std::vector<double>(n));
+  std::vector<double> delta(nrhs), stop(nrhs);
+  std::vector<char> done(nrhs, 0);
+
+  // r = b - A x ; p = r.  One A traversal serves every RHS.
+  out.traffic.slow_reads += A.nnz();
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    const auto bj = B.subspan(j * n, n);
+    const auto xj = X.subspan(j * n, n);
+    sparse::spmv(A, xj, w[j]);
+    out.traffic.slow_reads += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      r[j][i] = bj[i] - w[j][i];
+      p[j][i] = r[j][i];
+    }
+    out.traffic.slow_reads += 2 * n;
+    out.traffic.slow_writes += 2 * n;
+    delta[j] = sparse::dot(r[j], r[j]);
+    out.traffic.slow_reads += 2 * n;
+    stop[j] = tol * tol * sparse::dot(bj, bj);
+  }
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<std::size_t> act;
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (done[j]) continue;
+      if (delta[j] <= stop[j]) {
+        out.rhs[j].converged = true;
+        done[j] = 1;
+      } else {
+        act.push_back(j);
+      }
+    }
+    if (act.empty()) break;
+    const std::uint64_t na = act.size();
+
+    // w = A p for every active RHS off one traversal of A.
+    for (const std::size_t j : act) sparse::spmv(A, p[j], w[j]);
+    out.traffic.slow_reads += A.nnz() + na * n;
+    out.traffic.slow_writes += na * n;
+    out.traffic.flops += na * 2 * A.nnz();
+
+    for (const std::size_t j : act) {
+      const auto xj = X.subspan(j * n, n);
+      const double alpha = delta[j] / sparse::dot(p[j], w[j]);
+      sparse::axpy(alpha, p[j], xj);
+      sparse::axpy(-alpha, w[j], r[j]);
+      const double delta_new = sparse::dot(r[j], r[j]);
+      const double beta = delta_new / delta[j];
+      delta[j] = delta_new;
+      for (std::size_t i = 0; i < n; ++i) p[j][i] = r[j][i] + beta * p[j][i];
+      ++out.rhs[j].iterations;
+    }
+    out.traffic.slow_reads += na * 10 * n;  // dots + axpys + p update
+    out.traffic.slow_writes += na * 3 * n;  // x, r, p
+    out.traffic.flops += na * 6 * n;
+  }
+
+  // Residual check (untracked diagnostic), per RHS.
+  std::vector<double> ax(n);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    const auto bj = B.subspan(j * n, n);
+    sparse::spmv(A, X.subspan(j * n, n), ax);
+    double rn = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = bj[i] - ax[i];
+      rn += d * d;
+    }
+    out.rhs[j].residual_norm = std::sqrt(rn);
+    if (!out.rhs[j].converged) {
+      out.rhs[j].converged = out.rhs[j].residual_norm <= tol * sparse::norm2(bj);
+    }
+  }
+  return out;
+}
+
+BatchResult ca_cg_batch(const sparse::Csr& A, std::span<const double> B,
+                        std::span<double> X, std::size_t nrhs,
+                        const CaCgOptions& opt) {
+  const std::size_t n = A.n;
+  const std::size_t s = opt.s;
+  if (s == 0) throw std::invalid_argument("ca_cg_batch: s >= 1");
+  check_panels(n, nrhs, B.size(), X.size(), "ca_cg_batch");
+  const std::size_t m = 2 * s + 1;
+  const BasisCoeffs bc =
+      detail::make_basis(A, s, opt.basis == CaCgBasis::kNewton);
+
+  BatchResult out;
+  out.rhs.resize(nrhs);
+  if (nrhs == 0) return out;
+
+  std::vector<std::vector<double>> r(nrhs, std::vector<double>(n));
+  std::vector<std::vector<double>> p(nrhs, std::vector<double>(n));
+  std::vector<double> delta(nrhs), stop(nrhs), delta_enter(nrhs);
+  std::vector<char> finished(nrhs, 0);
+  std::vector<std::size_t> restarts(nrhs, 0);
+  constexpr std::size_t kMaxRestarts = 25;
+
+  {
+    std::vector<double> tmp(n);
+    out.traffic.slow_reads += A.nnz();
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      const auto bj = B.subspan(j * n, n);
+      sparse::spmv(A, X.subspan(j * n, n), tmp);
+      out.traffic.slow_reads += n;
+      for (std::size_t i = 0; i < n; ++i) {
+        r[j][i] = bj[i] - tmp[i];
+        p[j][i] = r[j][i];
+      }
+      out.traffic.slow_reads += 2 * n;
+      out.traffic.slow_writes += 2 * n;
+      delta[j] = sparse::dot(r[j], r[j]);
+      out.traffic.slow_reads += 2 * n;
+      stop[j] = opt.tol * opt.tol * sparse::dot(bj, bj);
+    }
+  }
+
+  const std::size_t bw = std::max<std::size_t>(1, A.bandwidth());
+  std::size_t block_rows = opt.block_rows;
+  if (block_rows == 0) {
+    block_rows = std::max<std::size_t>(4 * s * bw, 256);
+  }
+
+  std::vector<std::vector<double>> x_snap(nrhs), p_snap(nrhs), r_snap(nrhs);
+
+  for (std::size_t outer = 0; outer < opt.max_outer; ++outer) {
+    std::vector<std::size_t> act;
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      if (finished[j]) continue;
+      if (delta[j] <= stop[j]) {
+        out.rhs[j].converged = true;
+        finished[j] = 1;
+      } else {
+        act.push_back(j);
+      }
+    }
+    if (act.empty()) break;
+    const std::uint64_t na = act.size();
+
+    for (const std::size_t j : act) {
+      delta_enter[j] = delta[j];
+      const auto xj = X.subspan(j * n, n);
+      x_snap[j].assign(xj.begin(), xj.end());
+      p_snap[j] = p[j];
+      r_snap[j] = r[j];
+    }
+
+    std::vector<Small> G(nrhs, Small(m));
+    std::vector<std::vector<std::vector<double>>> V(nrhs);  // kStored only
+
+    if (opt.mode == CaCgMode::kStored) {
+      for (const std::size_t j : act) {
+        V[j].assign(m, std::vector<double>(n, 0.0));
+        V[j][0] = p[j];
+        V[j][s + 1] = r[j];
+      }
+      out.traffic.slow_reads += na * 2 * n;
+      out.traffic.slow_writes += na * 2 * n;  // basis heads materialized
+      // Each basis level is one traversal of A shared by the batch.
+      for (std::size_t lev = 0; lev < s; ++lev) {
+        for (const std::size_t j : act) {
+          sparse::spmv(A, V[j][lev], V[j][lev + 1]);
+          for (std::size_t i = 0; i < n; ++i) {
+            V[j][lev + 1][i] =
+                (V[j][lev + 1][i] - bc.theta[lev] * V[j][lev][i]) / bc.sigma;
+          }
+        }
+        out.traffic.slow_reads += A.nnz() + na * n;
+        out.traffic.slow_writes += na * n;
+        out.traffic.flops += na * (2 * A.nnz() + n);
+      }
+      for (std::size_t lev = 0; lev + 1 < s; ++lev) {
+        for (const std::size_t j : act) {
+          sparse::spmv(A, V[j][s + 1 + lev], V[j][s + 1 + lev + 1]);
+          for (std::size_t i = 0; i < n; ++i) {
+            V[j][s + 1 + lev + 1][i] =
+                (V[j][s + 1 + lev + 1][i] -
+                 bc.theta[lev] * V[j][s + 1 + lev][i]) /
+                bc.sigma;
+          }
+        }
+        out.traffic.slow_reads += A.nnz() + na * n;
+        out.traffic.slow_writes += na * n;
+        out.traffic.flops += na * (2 * A.nnz() + n);
+      }
+      for (const std::size_t j : act) {
+        std::vector<const double*> vp(m);
+        for (std::size_t a = 0; a < m; ++a) vp[a] = V[j][a].data();
+        linalg::active_kernels().gram_upper_acc(G[j].a.data(), m, vp.data(),
+                                                0, n);
+        linalg::gram_mirror(G[j].a.data(), m);
+      }
+      out.traffic.slow_reads += na * std::uint64_t(m) * n;
+      out.traffic.flops += na * std::uint64_t(m) * m * n;
+    } else {
+      // ---- Streaming pass 1, chunk-outer / RHS-inner: the A rows of
+      // a chunk are read once and advance every RHS's basis block.
+      for (std::size_t lo = 0; lo < n; lo += block_rows) {
+        const std::size_t hi = std::min(n, lo + block_rows);
+        const std::size_t ext = s * bw;
+        const std::size_t elo = lo >= ext ? lo - ext : 0;
+        const std::size_t ehi = std::min(n, hi + ext);
+        const std::size_t len = ehi - elo;
+
+        bool first = true;
+        for (const std::size_t j : act) {
+          std::vector<std::vector<double>> W(m,
+                                             std::vector<double>(len, 0.0));
+          for (std::size_t i = 0; i < len; ++i) {
+            W[0][i] = p[j][elo + i];
+            W[s + 1][i] = r[j][elo + i];
+          }
+          out.traffic.slow_reads += 2 * len;  // ghosted p and r reads
+
+          auto advance = [&](std::size_t col_from, std::size_t col_to,
+                             std::size_t level, double theta) {
+            const std::size_t vlo = elo == 0 ? 0 : elo + level * bw;
+            const std::size_t vhi = ehi == n ? n : ehi - level * bw;
+            for (std::size_t i = vlo; i < vhi; ++i) {
+              W[col_to][i - elo] =
+                  (detail::row_dot(A, i, W[col_from].data(),
+                                   -std::ptrdiff_t(elo)) -
+                   theta * W[col_from][i - elo]) /
+                  bc.sigma;
+              if (first) {
+                out.traffic.slow_reads +=
+                    2 * (A.row_ptr[i + 1] - A.row_ptr[i]);  // A values+cols
+              }
+              out.traffic.flops += 2 * (A.row_ptr[i + 1] - A.row_ptr[i]);
+            }
+          };
+          for (std::size_t lev = 0; lev < s; ++lev) {
+            advance(lev, lev + 1, lev + 1, bc.theta[lev]);
+          }
+          for (std::size_t lev = 0; lev + 1 < s; ++lev) {
+            advance(s + 1 + lev, s + 1 + lev + 1, lev + 1, bc.theta[lev]);
+          }
+
+          std::vector<const double*> wp(m);
+          for (std::size_t a = 0; a < m; ++a) wp[a] = W[a].data();
+          linalg::active_kernels().gram_upper_acc(G[j].a.data(), m,
+                                                  wp.data(), lo - elo,
+                                                  hi - elo);
+          out.traffic.flops += std::uint64_t(m) * m * (hi - lo);
+          first = false;
+        }
+      }
+      for (const std::size_t j : act) linalg::gram_mirror(G[j].a.data(), m);
+    }
+
+    // ---- Inner s steps in coordinates, per RHS.  A breakdown only
+    // retires that RHS: its iterates keep their entry values, exactly
+    // as the single-RHS solver's `break` leaves them.
+    std::vector<std::vector<double>> xh(nrhs), ph(nrhs), rh(nrhs);
+    std::vector<std::size_t> act2;
+    for (const std::size_t j : act) {
+      xh[j].assign(m, 0.0);
+      ph[j].assign(m, 0.0);
+      rh[j].assign(m, 0.0);
+      ph[j][0] = 1.0;
+      rh[j][s + 1] = 1.0;
+      const auto inner = detail::inner_steps(s, bc, G[j], xh[j], ph[j],
+                                             rh[j], delta[j], out.traffic);
+      if (inner.breakdown) {
+        finished[j] = 1;
+        continue;
+      }
+      out.rhs[j].iterations += s;
+      act2.push_back(j);
+    }
+    if (act2.empty()) continue;
+    const std::uint64_t na2 = act2.size();
+
+    if (opt.mode == CaCgMode::kStored) {
+      for (const std::size_t j : act2) {
+        const auto xj = X.subspan(j * n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          double np = 0, nr = 0, nx = xj[i];
+          for (std::size_t a = 0; a < m; ++a) {
+            np += V[j][a][i] * ph[j][a];
+            nr += V[j][a][i] * rh[j][a];
+            nx += V[j][a][i] * xh[j][a];
+          }
+          p[j][i] = np;
+          r[j][i] = nr;
+          xj[i] = nx;
+        }
+      }
+      out.traffic.slow_reads += na2 * (std::uint64_t(m) * n + n);
+      out.traffic.slow_writes += na2 * 3 * n;
+      out.traffic.flops += na2 * 6ull * m * n;
+    } else {
+      // ---- Streaming pass 2: recompute the basis blockwise (again
+      // chunk-outer so A words are paid once per chunk) and fuse the
+      // recovery.
+      std::vector<std::vector<double>> pn(nrhs), rn(nrhs);
+      for (const std::size_t j : act2) {
+        pn[j].resize(n);
+        rn[j].resize(n);
+      }
+      for (std::size_t lo = 0; lo < n; lo += block_rows) {
+        const std::size_t hi = std::min(n, lo + block_rows);
+        const std::size_t ext = s * bw;
+        const std::size_t elo = lo >= ext ? lo - ext : 0;
+        const std::size_t ehi = std::min(n, hi + ext);
+        const std::size_t len = ehi - elo;
+
+        bool first = true;
+        for (const std::size_t j : act2) {
+          std::vector<std::vector<double>> W(m,
+                                             std::vector<double>(len, 0.0));
+          for (std::size_t i = 0; i < len; ++i) {
+            W[0][i] = p[j][elo + i];
+            W[s + 1][i] = r[j][elo + i];
+          }
+          out.traffic.slow_reads += 2 * len;
+
+          auto advance = [&](std::size_t col_from, std::size_t col_to,
+                             std::size_t level, double theta) {
+            const std::size_t vlo = elo == 0 ? 0 : elo + level * bw;
+            const std::size_t vhi = ehi == n ? n : ehi - level * bw;
+            for (std::size_t i = vlo; i < vhi; ++i) {
+              W[col_to][i - elo] =
+                  (detail::row_dot(A, i, W[col_from].data(),
+                                   -std::ptrdiff_t(elo)) -
+                   theta * W[col_from][i - elo]) /
+                  bc.sigma;
+              if (first) {
+                out.traffic.slow_reads +=
+                    2 * (A.row_ptr[i + 1] - A.row_ptr[i]);
+              }
+              out.traffic.flops += 2 * (A.row_ptr[i + 1] - A.row_ptr[i]);
+            }
+          };
+          for (std::size_t lev = 0; lev < s; ++lev) {
+            advance(lev, lev + 1, lev + 1, bc.theta[lev]);
+          }
+          for (std::size_t lev = 0; lev + 1 < s; ++lev) {
+            advance(s + 1 + lev, s + 1 + lev + 1, lev + 1, bc.theta[lev]);
+          }
+
+          const auto xj = X.subspan(j * n, n);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t li = i - elo;
+            double np = 0, nr = 0, nx = xj[i];
+            for (std::size_t a = 0; a < m; ++a) {
+              np += W[a][li] * ph[j][a];
+              nr += W[a][li] * rh[j][a];
+              nx += W[a][li] * xh[j][a];
+            }
+            pn[j][i] = np;
+            rn[j][i] = nr;
+            xj[i] = nx;
+          }
+          out.traffic.slow_reads += hi - lo;         // x
+          out.traffic.slow_writes += 3 * (hi - lo);  // x, p, r only
+          out.traffic.flops += 6ull * m * (hi - lo);
+          first = false;
+        }
+      }
+      for (const std::size_t j : act2) {
+        p[j].swap(pn[j]);
+        r[j].swap(rn[j]);
+      }
+    }
+
+    // Recompute delta from the recovered residual; a large
+    // disagreement flags basis breakdown and rolls that RHS back.
+    std::vector<std::size_t> restart_set;
+    for (const std::size_t j : act2) {
+      const double delta_true = sparse::dot(r[j], r[j]);
+      out.traffic.slow_reads += 2 * n;
+      if (!std::isfinite(delta_true) ||
+          delta_true > 16.0 * delta_enter[j]) {
+        if (++restarts[j] > kMaxRestarts) {
+          finished[j] = 1;
+          continue;
+        }
+        out.rhs[j].iterations -= s;
+        const auto xj = X.subspan(j * n, n);
+        std::copy(x_snap[j].begin(), x_snap[j].end(), xj.begin());
+        for (std::size_t i = 0; i < n; ++i) {
+          p[j][i] = p_snap[j][i];
+          r[j][i] = r_snap[j][i];
+        }
+        delta[j] = delta_enter[j];
+        restart_set.push_back(j);
+      } else {
+        delta[j] = delta_true;
+      }
+    }
+
+    // Classical-CG fallback for the rolled-back RHS, batched the same
+    // way: each of the s steps reads A once for every RHS still in
+    // the fallback.  A non-positive or non-finite den retires that
+    // RHS from the fallback only (it rejoins the outer loop), exactly
+    // like the single-RHS solver's `break`.
+    if (!restart_set.empty()) {
+      std::vector<std::vector<double>> w(nrhs);
+      std::vector<char> fb_done(nrhs, 0);
+      for (std::size_t step = 0; step < s; ++step) {
+        std::vector<std::size_t> R;
+        for (const std::size_t j : restart_set) {
+          if (!fb_done[j] && delta[j] > stop[j]) R.push_back(j);
+        }
+        if (R.empty()) break;
+        std::uint64_t ns = 0;
+        for (const std::size_t j : R) {
+          if (w[j].empty()) w[j].assign(n, 0.0);
+          sparse::spmv(A, p[j], w[j]);
+          const double den = sparse::dot(p[j], w[j]);
+          if (den <= 0 || !std::isfinite(den)) {
+            fb_done[j] = 1;
+            continue;
+          }
+          const double alpha = delta[j] / den;
+          const auto xj = X.subspan(j * n, n);
+          for (std::size_t i = 0; i < n; ++i) {
+            xj[i] += alpha * p[j][i];
+            r[j][i] -= alpha * w[j][i];
+          }
+          const double dn = sparse::dot(r[j], r[j]);
+          const double beta = dn / delta[j];
+          delta[j] = dn;
+          for (std::size_t i = 0; i < n; ++i) {
+            p[j][i] = r[j][i] + beta * p[j][i];
+          }
+          ++out.rhs[j].iterations;
+          ++ns;
+        }
+        if (ns > 0) {
+          out.traffic.slow_reads += A.nnz() + ns * 9 * n;
+          out.traffic.slow_writes += ns * 4 * n;
+          out.traffic.flops += ns * (2 * A.nnz() + 10 * n);
+        }
+      }
+    }
+  }
+
+  std::vector<double> ax(n);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    const auto bj = B.subspan(j * n, n);
+    sparse::spmv(A, X.subspan(j * n, n), ax);
+    double rnrm = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dd = bj[i] - ax[i];
+      rnrm += dd * dd;
+    }
+    out.rhs[j].residual_norm = std::sqrt(rnrm);
+    if (!out.rhs[j].converged) {
+      out.rhs[j].converged =
+          out.rhs[j].residual_norm <= opt.tol * sparse::norm2(bj) * 10.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace wa::krylov

@@ -149,13 +149,67 @@ void trsm_right_upper_blocked(ConstMatrixView<double> U,
   }
 }
 
+// Panel-shaped SYRK: n small (a diagonal block or a skinny n x b
+// Gram-like panel), k long.  The reference kernel walks one (i, j)
+// dot product at a time, reloading L1's row per j; here four
+// accumulator chains per L1 row stream the contiguous L2 rows once
+// per 4-wide j group and hide the FMA latency on the long k axis.
+// Summation still runs k in ascending order per entry (syrk carries
+// no bitwise contract, but determinism is free).
+void syrk_panel_acc(MatrixView<double> A, ConstMatrixView<double> L1,
+                    ConstMatrixView<double> L2) {
+  const std::size_t n = A.rows(), k = L1.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* r1 = &L1(i, 0);
+    std::size_t j = 0;
+    for (; j + 4 <= i + 1; j += 4) {
+      const double* w0 = &L2(j, 0);
+      const double* w1 = &L2(j + 1, 0);
+      const double* w2 = &L2(j + 2, 0);
+      const double* w3 = &L2(j + 3, 0);
+      double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double v = r1[kk];
+        s0 += v * w0[kk];
+        s1 += v * w1[kk];
+        s2 += v * w2[kk];
+        s3 += v * w3[kk];
+      }
+      A(i, j) -= s0;
+      A(i, j + 1) -= s1;
+      A(i, j + 2) -= s2;
+      A(i, j + 3) -= s3;
+    }
+    for (; j <= i; ++j) {
+      const double* wj = &L2(j, 0);
+      double s = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) s += r1[kk] * wj[kk];
+      A(i, j) -= s;
+    }
+  }
+}
+
+// Small-n dispatch shared by the panel case and the diagonal blocks
+// of the big-n path: the reference loops win only when the whole
+// operand volume is tiny; past the kSmallGemm volume the long k axis
+// pays for the panel kernel's accumulator chains.
+void syrk_small(MatrixView<double> A, ConstMatrixView<double> L1,
+                ConstMatrixView<double> L2) {
+  const std::size_t n = A.rows(), k = L1.cols();
+  if (n * n * k < kSmallGemm) {
+    syrk_lower_acc(A, L1, L2);
+    return;
+  }
+  syrk_panel_acc(A, L1, L2);
+}
+
 void syrk_lower_acc_blocked(MatrixView<double> A, ConstMatrixView<double> L1,
                             ConstMatrixView<double> L2) {
   assert(A.rows() == A.cols() && L1.rows() == A.rows() &&
          L2.rows() == A.rows() && L1.cols() == L2.cols());
   const std::size_t n = A.rows(), k = L1.cols();
   if (n <= kTriBlock) {
-    syrk_lower_acc(A, L1, L2);
+    syrk_small(A, L1, L2);
     return;
   }
   for (std::size_t i0 = 0; i0 < n; i0 += kTriBlock) {
@@ -165,8 +219,8 @@ void syrk_lower_acc_blocked(MatrixView<double> A, ConstMatrixView<double> L1,
       gemm_dispatch(A.block(i0, 0, sz, i0), L1.block(i0, 0, sz, k),
                     L2.block(0, 0, i0, k), -1.0, true);
     }
-    syrk_lower_acc(A.block(i0, i0, sz, sz), L1.block(i0, 0, sz, k),
-                   L2.block(i0, 0, sz, k));
+    syrk_small(A.block(i0, i0, sz, sz), L1.block(i0, 0, sz, k),
+               L2.block(i0, 0, sz, k));
   }
 }
 

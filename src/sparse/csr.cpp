@@ -35,6 +35,7 @@ Csr stencil_1d(std::size_t n, unsigned b) {
   a.nx = n;
   a.ny = a.nz = 1;
   a.radius = b;
+  a.cross = true;  // 1-D: axis offsets are the whole neighbourhood
   a.row_ptr.reserve(n + 1);
   a.row_ptr.push_back(0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -77,6 +78,43 @@ Csr stencil_2d(std::size_t nx, std::size_t ny, unsigned b) {
   return a;
 }
 
+Csr stencil_2d_cross(std::size_t nx, std::size_t ny, unsigned b) {
+  Csr a;
+  a.n = nx * ny;
+  a.nx = nx;
+  a.ny = ny;
+  a.nz = 1;
+  a.radius = b;
+  a.cross = true;
+  a.row_ptr.reserve(a.n + 1);
+  a.row_ptr.push_back(0);
+  const double nbhd = double(4 * b);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t i = iy * nx + ix;
+      // Ascending-column order: the -y arm, the x row, the +y arm.
+      for (long dy = -long(b); dy <= long(b); ++dy) {
+        const long jy = long(iy) + dy;
+        if (jy < 0 || jy >= long(ny)) continue;
+        if (dy != 0) {
+          a.col_idx.push_back(std::size_t(jy) * nx + ix);
+          a.values.push_back(-1.0);
+          continue;
+        }
+        for (long dx = -long(b); dx <= long(b); ++dx) {
+          const long jx = long(ix) + dx;
+          if (jx < 0 || jx >= long(nx)) continue;
+          const std::size_t j = std::size_t(jy) * nx + std::size_t(jx);
+          a.col_idx.push_back(j);
+          a.values.push_back(i == j ? 2.0 * nbhd : -1.0);
+        }
+      }
+      a.row_ptr.push_back(a.col_idx.size());
+    }
+  }
+  return a;
+}
+
 Csr poisson_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
   Csr a;
   a.n = nx * ny * nz;
@@ -84,6 +122,7 @@ Csr poisson_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
   a.ny = ny;
   a.nz = nz;
   a.radius = 1;
+  a.cross = true;  // the 7-point pattern couples along the axes only
   a.row_ptr.push_back(0);
   auto id = [&](std::size_t x, std::size_t y, std::size_t z) {
     return (z * ny + y) * nx + x;

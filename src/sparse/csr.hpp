@@ -30,6 +30,13 @@ struct Csr {
   std::size_t nx = 0, ny = 0, nz = 0;
   std::size_t radius = 0;
 
+  /// True when the stencil couples along the axes only (a cross /
+  /// 5- or 7-point pattern): the level-e dependency region is then
+  /// the Manhattan diamond |dx| + |dy| <= e rather than the full
+  /// dilated box, and the 2-D partition ships the smaller diamond
+  /// halo.  Box-neighbourhood generators leave it false.
+  bool cross = false;
+
   bool has_geometry() const { return nx != 0; }
 
   std::size_t nnz() const { return values.size(); }
@@ -49,7 +56,13 @@ Csr stencil_1d(std::size_t n, unsigned b = 1);
 /// neighbourhood), diagonally dominant SPD.
 Csr stencil_2d(std::size_t nx, std::size_t ny, unsigned b = 1);
 
-/// 7-point 3-D Poisson stencil on an nx*ny*nz mesh.
+/// (4b+1)-point 2-D cross stencil on an nx-by-ny mesh: axis offsets
+/// +-1..+-b only (b = 1 is the classic 5-point Laplacian).
+/// Diagonally dominant SPD; sets `cross` so the 2-D partition ships
+/// diamond halos.
+Csr stencil_2d_cross(std::size_t nx, std::size_t ny, unsigned b = 1);
+
+/// 7-point 3-D Poisson stencil on an nx*ny*nz mesh (a cross stencil).
 Csr poisson_3d(std::size_t nx, std::size_t ny, std::size_t nz);
 
 /// Dense vector helpers used throughout the Krylov module.

@@ -188,6 +188,117 @@ TEST(Halo2D, LayeredPartitionShipsWholePencils) {
   }
 }
 
+TEST(Halo2D, DiamondShipsExactWordCountForCrossStencils) {
+  // 64 x 64 mesh on a 4 x 4 grid, ghost 4 (s = 4 hops of a 5-point
+  // stencil): the box variant ships 4 faces of 4*16 plus 4 corners of
+  // 4^2 = 320 nodes into an interior tile; the diamond keeps the
+  // faces but each corner wedge carries only 4*3/2 = 6 nodes -- 280
+  // total, pinned exactly against the box and the closed form.
+  const ProcessGrid g(4, 4);
+  const auto box = halo_transfers_2d(g, 64, 64, 4);
+  const auto dia = halo_transfers_2d_diamond(g, 64, 64, 4);
+  const auto recv = [](const std::vector<HaloTransfer>& hs, std::size_t p) {
+    std::size_t r = 0;
+    for (const auto& t : hs) {
+      if (t.dst == p) r += t.rows;
+    }
+    return r;
+  };
+  EXPECT_EQ(recv(box, 5), 320u);
+  EXPECT_EQ(recv(dia, 5), 280u);
+  EXPECT_DOUBLE_EQ(double(recv(dia, 5)),
+                   halo_words_2d_diamond_model(64, 64, 1, 4, 4, 4));
+
+  // The cross-stencil generator routes BlockPartition2D through the
+  // diamond list (scaled by nz pencils like the box path).
+  const auto A = sparse::stencil_2d_cross(64, 64, 1);
+  EXPECT_TRUE(A.cross);
+  const auto part = make_partition(16, A);
+  EXPECT_EQ(recv(part->halo(4), 5), 280u);
+  EXPECT_EQ(recv(make_partition(16, sparse::stencil_2d(64, 64, 1))->halo(4),
+                 5),
+            320u);
+}
+
+TEST(Halo2D, DiamondIsSubsetOfBoxOnRaggedMesh) {
+  // Uneven tiles, ghost spilling across neighbours: every diamond
+  // shipment is bounded by the box shipment between the same pair,
+  // and the per-rank received counts never exceed the box's.
+  const std::size_t nx = 13, ny = 7, ghost = 3;
+  const ProcessGrid g(2, 3);
+  const auto box = halo_transfers_2d(g, nx, ny, ghost);
+  const auto dia = halo_transfers_2d_diamond(g, nx, ny, ghost);
+  const auto pair_rows = [](const std::vector<HaloTransfer>& hs,
+                            std::size_t src, std::size_t dst) {
+    std::size_t r = 0;
+    for (const auto& t : hs) {
+      if (t.src == src && t.dst == dst) r += t.rows;
+    }
+    return r;
+  };
+  std::size_t box_total = 0, dia_total = 0;
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    for (std::size_t d = 0; d < g.size(); ++d) {
+      EXPECT_LE(pair_rows(dia, s, d), pair_rows(box, s, d))
+          << s << "->" << d;
+      box_total += pair_rows(box, s, d);
+      dia_total += pair_rows(dia, s, d);
+    }
+  }
+  EXPECT_LT(dia_total, box_total);
+  // Depth 1: one application of a 5-point stencil never touches the
+  // diagonal neighbour, so purely-diagonal shipments (the box's
+  // single corner node) vanish while face shipments match the box.
+  const auto box1 = halo_transfers_2d(g, nx, ny, 1);
+  const auto dia1 = halo_transfers_2d_diamond(g, nx, ny, 1);
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    for (std::size_t d = 0; d < g.size(); ++d) {
+      const bool diag = g.row_of(s) != g.row_of(d) && g.col_of(s) != g.col_of(d);
+      EXPECT_EQ(pair_rows(dia1, s, d), diag ? 0 : pair_rows(box1, s, d))
+          << s << "->" << d;
+    }
+  }
+}
+
+TEST(Halo2D, DiamondHaloLeavesIteratesBitwiseUnchanged) {
+  // The halo list is charging geometry; the numerics read the same
+  // exchanged ghosts either way.  Solving the same cross-stencil
+  // system under diamond and box halos must agree bitwise while the
+  // diamond puts strictly fewer words on the wire.
+  const auto A = sparse::stencil_2d_cross(20, 13, 1);
+  std::vector<double> b(A.n);
+  {
+    std::mt19937_64 rng(59);
+    std::uniform_real_distribution<double> dist(-1, 1);
+    std::vector<double> xt(A.n);
+    for (auto& v : xt) v = dist(rng);
+    sparse::spmv(A, xt, b);
+  }
+  CaCgOptions opt;
+  opt.s = 4;
+  opt.tol = 1e-9;
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    opt.mode = mode;
+    const std::size_t P = 6;
+    const auto dia = make_partition(P, A);  // A.cross routes to diamond
+    const BlockPartition2D box(best_grid_2d(P, A.nx, A.ny), A.nx, A.ny,
+                               A.nz, A.radius, /*cross_halo=*/false);
+    Machine md = make_machine(P), mb = make_machine(P);
+    std::vector<double> xd(A.n, 0.0), xb(A.n, 0.0);
+    const auto rd = ca_cg(md, *dia, A, b, xd, opt);
+    const auto rb = ca_cg(mb, box, A, b, xb, opt);
+    EXPECT_TRUE(rd.converged);
+    EXPECT_EQ(rd.iterations, rb.iterations);
+    EXPECT_EQ(std::memcmp(xd.data(), xb.data(), A.n * sizeof(double)), 0);
+    std::uint64_t nw_d = 0, nw_b = 0;
+    for (std::size_t p = 0; p < P; ++p) {
+      nw_d += md.proc(p).nw.words;
+      nw_b += mb.proc(p).nw.words;
+    }
+    EXPECT_LT(nw_d, nw_b);
+  }
+}
+
 TEST(BestGrid2D, FitsTheMeshAspect) {
   // Square mesh: the most-square factorization minimizes the halo.
   EXPECT_EQ(best_grid_2d(16, 64, 64).rows(), 4u);

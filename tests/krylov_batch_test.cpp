@@ -1,0 +1,452 @@
+// Batched multi-RHS CG / CA-CG (krylov/batch.hpp, dist/krylov.hpp):
+// the b = 1 batch is bitwise-identical to the single-RHS solvers --
+// iterates AND traffic counters -- per-RHS early exit leaves the
+// remaining iterates bitwise-unchanged, the batched distributed path
+// is backend-invariant, and the b-sweep counters match the closed-
+// form amortization models: A-words and network messages per solve
+// fall as 1/b while the per-RHS W12 and halo-word channels stay flat.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "dist/backend.hpp"
+#include "dist/krylov.hpp"
+#include "dist/machine.hpp"
+#include "dist/partition.hpp"
+#include "dist/planner.hpp"
+#include "krylov/batch.hpp"
+#include "krylov/cacg.hpp"
+#include "krylov/cg.hpp"
+#include "sparse/csr.hpp"
+
+namespace wa {
+namespace {
+
+using krylov::CaCgBasis;
+using krylov::CaCgMode;
+using krylov::CaCgOptions;
+
+dist::Machine make_machine(std::size_t P,
+                           std::unique_ptr<dist::Backend> backend = nullptr) {
+  return dist::Machine(P, 192, 4096, 1 << 24, dist::HwParams{},
+                       std::move(backend));
+}
+
+/// Column-major n x nrhs panel of right-hand sides, each A * (smooth
+/// random vector) with a distinct seed.
+std::vector<double> panel_for(const sparse::Csr& A, std::size_t nrhs,
+                              unsigned seed) {
+  std::vector<double> B(A.n * nrhs);
+  std::vector<double> xt(A.n);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    std::mt19937_64 rng(seed + 977u * unsigned(j));
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (auto& v : xt) v = dist(rng);
+    sparse::spmv(A, xt, std::span<double>(B).subspan(j * A.n, A.n));
+  }
+  return B;
+}
+
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// ---- shared-memory batch: b = 1 reduces exactly -------------------------
+
+TEST(SharedBatch, CgB1BitwiseEqualSingle) {
+  const auto A = sparse::stencil_1d(384, 2);
+  const auto B = panel_for(A, 1, 11);
+  std::vector<double> xs(A.n, 0.0), xb(A.n, 0.0);
+
+  const auto solo = krylov::cg(A, B, xs, 200, 1e-10);
+  const auto batch = krylov::cg_batch(A, B, xb, 1, 200, 1e-10);
+
+  ASSERT_EQ(batch.rhs.size(), 1u);
+  EXPECT_TRUE(bits_equal(xs, xb));
+  EXPECT_EQ(solo.iterations, batch.rhs[0].iterations);
+  EXPECT_EQ(solo.converged, batch.rhs[0].converged);
+  EXPECT_EQ(solo.residual_norm, batch.rhs[0].residual_norm);
+  EXPECT_EQ(solo.traffic.slow_reads, batch.traffic.slow_reads);
+  EXPECT_EQ(solo.traffic.slow_writes, batch.traffic.slow_writes);
+  EXPECT_EQ(solo.traffic.flops, batch.traffic.flops);
+}
+
+TEST(SharedBatch, CaCgB1BitwiseEqualSingle) {
+  const auto A = sparse::stencil_1d(384, 1);
+  const auto B = panel_for(A, 1, 7);
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    for (auto basis : {CaCgBasis::kMonomial, CaCgBasis::kNewton}) {
+      CaCgOptions opt;
+      opt.s = 4;
+      opt.tol = 1e-10;
+      opt.mode = mode;
+      opt.basis = basis;
+      std::vector<double> xs(A.n, 0.0), xb(A.n, 0.0);
+
+      const auto solo = krylov::ca_cg(A, B, xs, opt);
+      const auto batch = krylov::ca_cg_batch(A, B, xb, 1, opt);
+
+      ASSERT_EQ(batch.rhs.size(), 1u);
+      EXPECT_TRUE(bits_equal(xs, xb))
+          << "mode=" << int(mode) << " basis=" << int(basis);
+      EXPECT_EQ(solo.iterations, batch.rhs[0].iterations);
+      EXPECT_EQ(solo.converged, batch.rhs[0].converged);
+      EXPECT_EQ(solo.traffic.slow_reads, batch.traffic.slow_reads);
+      EXPECT_EQ(solo.traffic.slow_writes, batch.traffic.slow_writes);
+      EXPECT_EQ(solo.traffic.flops, batch.traffic.flops);
+    }
+  }
+}
+
+// ---- per-RHS early exit perturbs nothing --------------------------------
+
+TEST(SharedBatch, EarlyExitLeavesOthersBitwise) {
+  // RHS 0 is identically zero: it converges before the first
+  // iteration and drops out of the batch, while RHS 1 runs the full
+  // solve.  Independence means RHS 1's iterate is bitwise-equal to a
+  // solo solve at every point after the dropout.
+  const auto A = sparse::stencil_1d(384, 1);
+  const std::size_t n = A.n;
+  const auto hard = panel_for(A, 1, 23);
+  std::vector<double> B(2 * n, 0.0);
+  std::copy(hard.begin(), hard.end(), B.begin() + std::ptrdiff_t(n));
+
+  {
+    std::vector<double> xs(n, 0.0), xb(2 * n, 0.0);
+    const auto solo = krylov::cg(A, hard, xs, 200, 1e-10);
+    const auto batch = krylov::cg_batch(A, B, xb, 2, 200, 1e-10);
+    EXPECT_TRUE(batch.rhs[0].converged);
+    EXPECT_EQ(batch.rhs[0].iterations, 0u);
+    EXPECT_EQ(solo.iterations, batch.rhs[1].iterations);
+    EXPECT_TRUE(bits_equal(xs, std::span<const double>(xb).subspan(n, n)));
+  }
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    CaCgOptions opt;
+    opt.s = 4;
+    opt.tol = 1e-10;
+    opt.mode = mode;
+    std::vector<double> xs(n, 0.0), xb(2 * n, 0.0);
+    const auto solo = krylov::ca_cg(A, hard, xs, opt);
+    const auto batch = krylov::ca_cg_batch(A, B, xb, 2, opt);
+    EXPECT_TRUE(batch.rhs[0].converged);
+    EXPECT_EQ(batch.rhs[0].iterations, 0u);
+    EXPECT_EQ(solo.iterations, batch.rhs[1].iterations);
+    EXPECT_TRUE(bits_equal(xs, std::span<const double>(xb).subspan(n, n)));
+  }
+}
+
+TEST(SharedBatch, SharesTheMatrixStream) {
+  // The whole point: four solves in one batch read A once per
+  // traversal, so batch reads sit well below four solo solves.
+  const auto A = sparse::stencil_1d(1024, 1);
+  const std::size_t nrhs = 4;
+  const auto B = panel_for(A, nrhs, 31);
+  CaCgOptions opt;
+  opt.s = 4;
+  opt.tol = 1e-10;
+
+  std::uint64_t solo_reads = 0;
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    std::vector<double> x(A.n, 0.0);
+    solo_reads +=
+        krylov::ca_cg(A, std::span<const double>(B).subspan(j * A.n, A.n), x,
+                      opt)
+            .traffic.slow_reads;
+  }
+  std::vector<double> X(A.n * nrhs, 0.0);
+  const auto batch = krylov::ca_cg_batch(A, B, X, nrhs, opt);
+  EXPECT_LT(double(batch.traffic.slow_reads), 0.75 * double(solo_reads));
+}
+
+// ---- distributed batch: b = 1 reduces exactly, bits and counters --------
+
+void expect_counters_equal(const dist::Machine& a, const dist::Machine& b) {
+  ASSERT_EQ(a.nprocs(), b.nprocs());
+  for (std::size_t p = 0; p < a.nprocs(); ++p) {
+    const dist::ProcTraffic& u = a.proc(p);
+    const dist::ProcTraffic& v = b.proc(p);
+    const auto eq = [&](const dist::ChanCount& c, const dist::ChanCount& d,
+                        const char* ch) {
+      EXPECT_EQ(c.words, d.words) << "proc " << p << " " << ch;
+      EXPECT_EQ(c.messages, d.messages) << "proc " << p << " " << ch;
+    };
+    eq(u.nw, v.nw, "nw");
+    eq(u.l3_read, v.l3_read, "l3_read");
+    eq(u.l3_write, v.l3_write, "l3_write");
+    eq(u.l2_read, v.l2_read, "l2_read");
+    eq(u.l2_write, v.l2_write, "l2_write");
+  }
+}
+
+TEST(DistBatch, B1BitwiseEqualSingle) {
+  const auto A = sparse::stencil_1d(130, 1);
+  const auto B = panel_for(A, 1, 5);
+  for (std::size_t P : {std::size_t(1), std::size_t(4), std::size_t(6)}) {
+    {
+      dist::Machine ms = make_machine(P), mb = make_machine(P);
+      std::vector<double> xs(A.n, 0.0), xb(A.n, 0.0);
+      const auto solo = dist::cg(ms, A, B, xs, 200, 1e-10);
+      const auto batch = dist::cg_batch(mb, A, B, xb, 1, 200, 1e-10);
+      EXPECT_TRUE(bits_equal(xs, xb)) << "cg P=" << P;
+      EXPECT_EQ(solo.iterations, batch.rhs[0].iterations);
+      expect_counters_equal(ms, mb);
+    }
+    for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+      CaCgOptions opt;
+      opt.s = 4;
+      opt.tol = 1e-10;
+      opt.mode = mode;
+      dist::Machine ms = make_machine(P), mb = make_machine(P);
+      std::vector<double> xs(A.n, 0.0), xb(A.n, 0.0);
+      const auto solo = dist::ca_cg(ms, A, B, xs, opt);
+      const auto batch = dist::ca_cg_batch(mb, A, B, xb, 1, opt);
+      EXPECT_TRUE(bits_equal(xs, xb))
+          << "ca_cg P=" << P << " mode=" << int(mode);
+      EXPECT_EQ(solo.iterations, batch.rhs[0].iterations);
+      expect_counters_equal(ms, mb);
+    }
+  }
+}
+
+TEST(DistBatch, P1BitwiseEqualSharedBatch) {
+  const auto A = sparse::stencil_1d(130, 1);
+  const std::size_t nrhs = 3;
+  const auto B = panel_for(A, nrhs, 13);
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    CaCgOptions opt;
+    opt.s = 4;
+    opt.tol = 1e-10;
+    opt.mode = mode;
+    dist::Machine m = make_machine(1);
+    std::vector<double> xd(A.n * nrhs, 0.0), xs(A.n * nrhs, 0.0);
+    const auto rd = dist::ca_cg_batch(m, A, B, xd, nrhs, opt);
+    const auto rs = krylov::ca_cg_batch(A, B, xs, nrhs, opt);
+    EXPECT_TRUE(bits_equal(xd, xs)) << "mode=" << int(mode);
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      EXPECT_EQ(rd.rhs[j].iterations, rs.rhs[j].iterations) << "rhs " << j;
+    }
+  }
+}
+
+TEST(DistBatch, EarlyExitLeavesOthersBitwise) {
+  const auto A = sparse::stencil_1d(130, 1);
+  const std::size_t n = A.n;
+  const auto hard = panel_for(A, 1, 17);
+  std::vector<double> B(2 * n, 0.0);
+  std::copy(hard.begin(), hard.end(), B.begin() + std::ptrdiff_t(n));
+  for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+    CaCgOptions opt;
+    opt.s = 4;
+    opt.tol = 1e-10;
+    opt.mode = mode;
+    dist::Machine ms = make_machine(4), mb = make_machine(4);
+    std::vector<double> xs(n, 0.0), xb(2 * n, 0.0);
+    const auto solo = dist::ca_cg(ms, A, hard, xs, opt);
+    const auto batch = dist::ca_cg_batch(mb, A, B, xb, 2, opt);
+    EXPECT_TRUE(batch.rhs[0].converged);
+    EXPECT_EQ(batch.rhs[0].iterations, 0u);
+    EXPECT_EQ(solo.iterations, batch.rhs[1].iterations);
+    EXPECT_TRUE(bits_equal(xs, std::span<const double>(xb).subspan(n, n)));
+  }
+}
+
+TEST(DistBatch, CountersAndBitsIdenticalSerialVsThreaded) {
+  const auto A = sparse::stencil_1d(130, 1);
+  const std::size_t nrhs = 3;
+  const auto B = panel_for(A, nrhs, 29);
+  for (std::size_t P : {std::size_t(4), std::size_t(6)}) {
+    for (auto mode : {CaCgMode::kStored, CaCgMode::kStreaming}) {
+      CaCgOptions opt;
+      opt.s = 4;
+      opt.tol = 1e-10;
+      opt.mode = mode;
+      dist::Machine serial =
+          make_machine(P, std::make_unique<dist::SerialSimBackend>());
+      std::vector<double> x_serial(A.n * nrhs, 0.0);
+      dist::ca_cg_batch(serial, A, B, x_serial, nrhs, opt);
+
+      dist::Machine threaded =
+          make_machine(P, std::make_unique<dist::ThreadedBackend>(4));
+      std::vector<double> x_threaded(A.n * nrhs, 0.0);
+      dist::ca_cg_batch(threaded, A, B, x_threaded, nrhs, opt);
+
+      EXPECT_TRUE(bits_equal(x_serial, x_threaded))
+          << "P=" << P << " mode=" << int(mode);
+      expect_counters_equal(serial, threaded);
+    }
+  }
+}
+
+// ---- the amortization pin: counters vs closed forms ---------------------
+
+struct BatchRun {
+  std::uint64_t l3_read, l3_write, nw_words, nw_messages;
+  std::uint64_t total_messages;
+};
+
+/// Fixed-outer batched CA-CG run; per-rank counters read at interior
+/// rank 1, messages also summed machine-wide.
+BatchRun run_batch(const sparse::Csr& A, std::size_t P, std::size_t b,
+                   const CaCgOptions& opt, unsigned seed) {
+  dist::Machine m = make_machine(P);
+  const auto B = panel_for(A, b, seed);
+  std::vector<double> X(A.n * b, 0.0);
+  const auto res = dist::ca_cg_batch(m, A, B, X, b, opt);
+  for (std::size_t j = 0; j < b; ++j) {
+    // tol = 0 and a fixed outer budget: every RHS runs all s *
+    // max_outer inner steps, so the counter decomposition below sees
+    // the same event sequence at every b (no restarts slipped in).
+    EXPECT_EQ(res.rhs[j].iterations, opt.s * opt.max_outer) << "rhs " << j;
+  }
+  const dist::ProcTraffic& t = m.proc(1);
+  std::uint64_t msgs = 0;
+  for (std::size_t p = 0; p < P; ++p) msgs += m.proc(p).nw.messages;
+  return {t.l3_read.words, t.l3_write.words, t.nw.words, t.nw.messages, msgs};
+}
+
+TEST(DistBatchAmortization, CountersMatchClosedFormsAtB16) {
+  const std::size_t n = 1 << 12, P = 4, s = 4, r = 1;
+  const auto A = sparse::stencil_1d(n, r);
+  CaCgOptions opt;
+  opt.s = s;
+  opt.tol = 0.0;  // never converge: fixed 5-outer event sequence
+  opt.max_outer = 5;
+  opt.mode = CaCgMode::kStored;
+  const double outers = double(opt.max_outer);
+
+  const BatchRun r1 = run_batch(A, P, 1, opt, 41);
+  const BatchRun r16 = run_batch(A, P, 16, opt, 41);
+
+  // Messages are per-event and b-independent: 16 solves ride the
+  // exact same exchanges and allreduces one solve needs, so the
+  // messages-per-solve amortization is exactly 16x >= 4x.
+  EXPECT_EQ(r16.nw_messages, r1.nw_messages);
+  EXPECT_EQ(r16.total_messages, r1.total_messages);
+  EXPECT_GE(double(r1.total_messages) / (double(r16.total_messages) / 16.0),
+            4.0);
+
+  // Machine-wide message total against the per-outer closed form plus
+  // the one-time setup (one depth-r exchange + two allreduces).
+  const double rounds0 = double(dist::Machine::bcast_rounds(P));
+  const std::size_t transfers_s =
+      dist::RowPartition1D(dist::ProcessGrid(P), n, r).halo(s * r).size();
+  const std::size_t transfers_1 =
+      dist::RowPartition1D(dist::ProcessGrid(P), n, r).halo(r).size();
+  const double msgs_model =
+      2.0 * double(transfers_1) + 2.0 * (2.0 * double(P) * rounds0) +
+      outers * dist::cacg_model_network_messages_per_outer(P, transfers_s);
+  EXPECT_DOUBLE_EQ(double(r16.total_messages), msgs_model);
+
+  // Per-RHS channels scale exactly linearly in b: W12 and network
+  // words per solve are FLAT (each RHS writes and ships its own
+  // panels), which is the honest reading of the 1/b claim.
+  EXPECT_EQ(r16.l3_write, 16 * r1.l3_write);
+  EXPECT_EQ(r16.nw_words, 16 * r1.nw_words);
+
+  // Shared-vs-per-RHS read split: reads(b) = A_shared + b * V, so two
+  // runs recover both components exactly.
+  ASSERT_GT(16 * r1.l3_read, r16.l3_read);
+  const double a_shared = double(16 * r1.l3_read - r16.l3_read) / 15.0;
+  const double awords_measured_per_outer = a_shared / outers;
+  const double awords_model_per_outer =
+      dist::cacg_model_awords_per_outer(n, P, s, r);
+  EXPECT_NEAR(awords_measured_per_outer, awords_model_per_outer,
+              0.1 * awords_model_per_outer);
+
+  // Acceptance: per-solve A-words at b = 16 within 1.3x the amortized
+  // model and >= 4x below the b = 1 per-solve cost.
+  const double awords_per_solve_b16 = a_shared / 16.0;
+  EXPECT_LE(awords_per_solve_b16,
+            1.3 * outers *
+                dist::cacg_batch_model_awords_per_solve(n, P, s, r, opt.mode,
+                                                        16));
+  EXPECT_GE(a_shared / awords_per_solve_b16, 4.0);
+
+  // W12 per solve per step within 1.3x the (flat) closed form; the
+  // slack absorbs the one-time setup writes.
+  const double steps = outers * double(s);
+  const double w12_per_solve_per_step = double(r16.l3_write) / 16.0 / steps;
+  EXPECT_LE(w12_per_solve_per_step,
+            1.3 * dist::cacg_batch_model_w12_per_solve_per_step(
+                      n, P, s, opt.mode, 16));
+  EXPECT_GE(w12_per_solve_per_step,
+            dist::cacg_batch_model_w12_per_solve_per_step(n, P, s, opt.mode,
+                                                          16));
+
+  // Halo words per solve per outer: strip the allreduce share and the
+  // one-time setup exchange from rank 1's network words, then pin the
+  // remainder against the flat 4 * ghost model exactly.
+  const double rounds = double(dist::Machine::bcast_rounds(P));
+  const std::size_t mm = 2 * s + 1;
+  const double gram = double(mm * (mm + 1) / 2);
+  // Per solve: setup ships two allreduces of one word each, every
+  // outer ships the Gram triangle + the recomputed delta.
+  const double allred_words = 2.0 * rounds * (2.0 + outers * (gram + 1.0));
+  const double setup_halo =
+      2.0 * dist::halo_words_1d_model(n, P, r);  // sent + received, 1 vector
+  const double halo_per_solve_per_outer =
+      (double(r16.nw_words) / 16.0 - allred_words - setup_halo) / outers;
+  const double halo_model = dist::cacg_batch_model_halo_words_per_solve_per_outer(
+      dist::halo_words_1d_model(n, P, s * r), 16);
+  EXPECT_DOUBLE_EQ(halo_per_solve_per_outer, halo_model);
+  EXPECT_LE(halo_per_solve_per_outer, 1.3 * halo_model);
+}
+
+// ---- the request-level autotuner ----------------------------------------
+
+TEST(KrylovAutotuner, CachesPlansByFingerprintAndBatch) {
+  dist::KrylovAutotuner tuner{dist::HwParams{}};
+  const auto A = sparse::stencil_1d(1 << 12, 1);
+  const auto& p1 = tuner.plan(A, 4, 8);
+  EXPECT_EQ(tuner.misses(), 1u);
+  EXPECT_EQ(tuner.hits(), 0u);
+  const auto& p2 = tuner.plan(A, 4, 8);
+  EXPECT_EQ(tuner.misses(), 1u);
+  EXPECT_EQ(tuner.hits(), 1u);
+  EXPECT_EQ(p1.algorithm, p2.algorithm);
+  // A different matrix with the SAME fingerprint is a hit, not a
+  // re-plan: the cache keys on operator identity, not object address.
+  const auto A_again = sparse::stencil_1d(1 << 12, 1);
+  EXPECT_TRUE(dist::fingerprint(A) == dist::fingerprint(A_again));
+  tuner.plan(A_again, 4, 8);
+  EXPECT_EQ(tuner.hits(), 2u);
+  // Changing the batch size or rank count re-tunes.
+  tuner.plan(A, 4, 1);
+  tuner.plan(A, 6, 8);
+  EXPECT_EQ(tuner.misses(), 3u);
+}
+
+TEST(KrylovAutotuner, PlanMatchesOperatorGeometry) {
+  dist::KrylovAutotuner tuner{dist::HwParams{}};
+  const auto A1 = sparse::stencil_1d(1 << 12, 1);
+  const auto A2 = sparse::stencil_2d_cross(64, 64, 1);
+  EXPECT_EQ(tuner.plan(A1, 4, 8).partition, dist::PartitionKind::kRows1D);
+  EXPECT_EQ(tuner.plan(A2, 4, 8).partition, dist::PartitionKind::kBlocks2D);
+  EXPECT_EQ(tuner.plan(A1, 4, 8).backend, "threaded");
+  EXPECT_EQ(tuner.plan(A1, 2, 8).backend, "serial");
+}
+
+TEST(KrylovAutotuner, SlowNvmPrefersWriteAvoidingCaCg) {
+  // With NVM writes 30x the network beta, the streaming CA-CG's
+  // Theta(s) write reduction dominates every candidate.
+  dist::KrylovAutotuner tuner{dist::HwParams::slow_nvm()};
+  const auto A = sparse::stencil_1d(1 << 14, 1);
+  const auto& p = tuner.plan(A, 4, 8);
+  EXPECT_EQ(p.algorithm, "ca-cg");
+  EXPECT_EQ(p.mode, krylov::CaCgMode::kStreaming);
+  EXPECT_GE(p.s, 2u);
+  // Batching never makes the modelled per-solve step slower: the
+  // shared A-stream and message latency only shrink with b.
+  const double t1 = tuner.plan(A, 4, 1).predicted_seconds;
+  const double t16 = tuner.plan(A, 4, 16).predicted_seconds;
+  EXPECT_LE(t16, t1);
+}
+
+}  // namespace
+}  // namespace wa

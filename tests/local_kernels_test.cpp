@@ -167,6 +167,33 @@ TEST(LocalKernels, SyrkParityTouchesOnlyLowerTriangle) {
   }
 }
 
+TEST(LocalKernels, SyrkPanelShapeParity) {
+  // The batched-Krylov Gram shape: a tiny output (m <= 16) against a
+  // long inner dimension, which the blocked table sends down the
+  // accumulator-chain panel leg once m*m*k clears the small-case bar.
+  // syrk carries no bitwise contract, so this is a tolerance check.
+  for (const std::size_t m : {5, 16}) {
+    for (const std::size_t k : {33, 4096}) {
+      linalg::Matrix<double> l1(m, k), l2(m, k);
+      linalg::fill_random(l1, unsigned(20 + m));
+      linalg::fill_random(l2, unsigned(30 + k));
+      linalg::Matrix<double> a0(m, m), a1(m, m);
+      linalg::fill_random(a0, 17);
+      a1 = a0;
+      linalg::naive_kernels().syrk_lower_acc(a0.view(), l1.view(), l2.view());
+      linalg::blocked_kernels().syrk_lower_acc(a1.view(), l1.view(),
+                                               l2.view());
+      EXPECT_LT(linalg::max_abs_diff(a0, a1), 1e-10)
+          << "m=" << m << " k=" << k;
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = i + 1; j < m; ++j) {
+          ASSERT_EQ(a0(i, j), a1(i, j));  // strictly-upper: untouched
+        }
+      }
+    }
+  }
+}
+
 // ---- the Gram contract ---------------------------------------------------
 
 TEST(LocalKernels, GramBlockedBitwiseEqualsNaive) {
