@@ -94,6 +94,16 @@ inline std::unique_ptr<dist::Backend> env_backend() {
   }
 }
 
+/// Transport selected by WA_TRANSPORT (sim when unset), with unknown
+/// names rejected as the same uniform usage error as WA_BACKEND.
+inline std::unique_ptr<dist::Transport> env_transport() {
+  try {
+    return dist::transport_from_env();
+  } catch (const std::invalid_argument& e) {
+    die(e.what());
+  }
+}
+
 /// Local-kernel choice from WA_KERNELS (blocked when unset),
 /// installed as the process-wide active table so every local numeric
 /// in the bench runs through it; counters are unaffected by design.

@@ -135,6 +135,22 @@ inline void charge_l2_transit(memsim::Hierarchy& h, std::size_t words,
   }
 }
 
+/// Pack a (possibly strided) matrix block contiguously into @p
+/// scratch, row-major, and return the packed pointer.  Used to hand
+/// real payload bytes to a data-moving Transport when a collective is
+/// charged; callers skip the pack entirely when
+/// machine.transport().moves_data() is false.
+inline const double* pack_block(linalg::ConstMatrixView<double> block,
+                                std::vector<double>& scratch) {
+  scratch.resize(block.rows() * block.cols());
+  for (std::size_t i = 0; i < block.rows(); ++i) {
+    for (std::size_t j = 0; j < block.cols(); ++j) {
+      scratch[i * block.cols() + j] = block(i, j);
+    }
+  }
+  return scratch.data();
+}
+
 /// Split @p words into @p pieces sizes differing by at most one word
 /// (their sum is exactly @p words).
 inline std::vector<std::size_t> split_words(std::size_t words,

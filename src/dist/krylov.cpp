@@ -173,16 +173,19 @@ struct PartRun {
 
   /// Charge a binomial-tree allreduce of @p words among all ranks
   /// (reduce with per-round combines, then broadcast of the result).
-  void allreduce_charge(std::size_t words) {
-    m.reduce(group, words);
-    m.bcast(group, words);
+  /// Under a data-moving transport @p payload (the combined value,
+  /// when it is available at charge time) really travels both trees.
+  void allreduce_charge(std::size_t words, const double* payload = nullptr) {
+    m.reduce(group, words, payload);
+    m.bcast(group, words, payload);
   }
 
-  /// Combine the per-rank partials and charge a one-word allreduce.
+  /// Combine the per-rank partials and charge a one-word allreduce
+  /// that carries the combined scalar.
   double allreduce(const std::vector<double>& part_sums) {
     double sum = 0.0;
     for (std::size_t p = 0; p < P; ++p) sum += part_sums[p];
-    allreduce_charge(1);
+    allreduce_charge(1, &sum);
     return sum;
   }
 };
@@ -333,7 +336,7 @@ SetupResult residual_setup(PartRun& rp,
     });
     bb += sum;
   }
-  rp.allreduce_charge(1);
+  rp.allreduce_charge(1, &bb);
   return {delta, bb};
 }
 
@@ -597,7 +600,9 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
       }
     }
     linalg::gram_mirror(G.a.data(), mm);
-    rp.allreduce_charge(mm * (mm + 1) / 2);
+    // The combined Gram matrix is in hand; its packed triangle rides
+    // the charged allreduce as the real payload.
+    rp.allreduce_charge(mm * (mm + 1) / 2, G.a.data());
 
     // ---- inner s steps in coordinates: O(s^2) data, replicated on
     // every rank (fast memory only, so nothing is charged).
@@ -822,7 +827,7 @@ BatchSetupResult residual_setup_batch(
     for (std::size_t q = 0; q < rp.P; ++q) sum += partj[j][q];
     out.delta[j] = sum;
   }
-  rp.allreduce_charge(nrhs);
+  rp.allreduce_charge(nrhs, out.delta.data());
 
   for (std::size_t j = 0; j < nrhs; ++j) {
     const auto bj = B.subspan(j * n, n);
@@ -836,7 +841,7 @@ BatchSetupResult residual_setup_batch(
     }
     out.bb[j] = bb;
   }
-  rp.allreduce_charge(nrhs);
+  rp.allreduce_charge(nrhs, out.bb.data());
   return out;
 }
 

@@ -42,6 +42,23 @@ std::size_t sum_sizes(const std::vector<BlockRange>& blocks) {
   return words;
 }
 
+// Pack a list of (possibly strided) tiles back-to-back into
+// @p scratch: the payload of one batched panel broadcast.
+const double* pack_tiles(
+    const std::vector<linalg::ConstMatrixView<double>>& tiles,
+    std::vector<double>& scratch) {
+  std::size_t total = 0;
+  for (const auto& t : tiles) total += t.rows() * t.cols();
+  scratch.resize(total);
+  std::size_t off = 0;
+  for (const auto& t : tiles) {
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+      for (std::size_t j = 0; j < t.cols(); ++j) scratch[off++] = t(i, j);
+    }
+  }
+  return scratch.data();
+}
+
 }  // namespace
 
 void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
@@ -49,6 +66,8 @@ void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
   const ProcessGrid g = validate_lu(m, A, b);
   const std::size_t n = A.rows();
   const std::size_t b1 = detail::l1_tile(m.M1());
+  const bool move = m.transport().moves_data();
+  std::vector<double> scratch;
 
   for (std::size_t k0 = 0; k0 < n; k0 += b) {
     const std::size_t kb = k0 / b;
@@ -69,9 +88,12 @@ void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
 
     // The factored diagonal goes only to the ranks solving the two
     // panels: its grid row (U row-panel) and grid column (L column-
-    // panel) -- not all_procs.
-    m.bcast(g.row_group(or_), bs * bs);
-    m.bcast(g.col_group(oc), bs * bs);
+    // panel) -- not all_procs.  It was factored just above, so the
+    // real L11/U11 bytes are available to move.
+    const double* diag =
+        move ? detail::pack_block(A.block(k0, k0, bs, bs), scratch) : nullptr;
+    m.bcast(g.row_group(or_), bs * bs, diag);
+    m.bcast(g.col_group(oc), bs * bs, diag);
 
     // Panel solves: rank (or_, j) owns the U tiles of block row kb in
     // its cyclic trailing columns; rank (i, oc) owns the L tiles of
@@ -106,13 +128,33 @@ void lu_right_looking(Machine& m, linalg::MatrixView<double> A,
 
     // Finished panel tiles travel to their gemm consumers: L tiles
     // along the owning grid row, U tiles along the owning grid column.
+    // The panels were just solved, so the batched broadcasts carry the
+    // real concatenated tiles.
     for (std::size_t i = 0; i < g.rows(); ++i) {
       const std::size_t words = g.cyclic_row_words(n, b, i, lo) * bs;
-      if (words > 0) m.bcast(g.row_group(i), words);
+      if (words == 0) continue;
+      const double* payload = nullptr;
+      if (move) {
+        std::vector<linalg::ConstMatrixView<double>> tiles;
+        for (const BlockRange& rb : g.cyclic_row_blocks(n, b, i, lo)) {
+          tiles.push_back(A.block(rb.off, k0, rb.sz, bs));
+        }
+        payload = pack_tiles(tiles, scratch);
+      }
+      m.bcast(g.row_group(i), words, payload);
     }
     for (std::size_t j = 0; j < g.cols(); ++j) {
       const std::size_t words = bs * g.cyclic_col_words(n, b, j, lo);
-      if (words > 0) m.bcast(g.col_group(j), words);
+      if (words == 0) continue;
+      const double* payload = nullptr;
+      if (move) {
+        std::vector<linalg::ConstMatrixView<double>> tiles;
+        for (const BlockRange& cb : g.cyclic_col_blocks(n, b, j, lo)) {
+          tiles.push_back(A.block(k0, cb.off, bs, cb.sz));
+        }
+        payload = pack_tiles(tiles, scratch);
+      }
+      m.bcast(g.col_group(j), words, payload);
     }
 
     // Trailing update: every rank streams its own cyclic tiles of the
@@ -145,6 +187,8 @@ void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
   if (s == 0) throw std::invalid_argument("lu: s must be positive");
   const std::size_t n = A.rows();
   const std::size_t b1 = detail::l1_tile(m.M1());
+  const bool move = m.transport().moves_data();
+  std::vector<double> scratch;
 
   for (std::size_t j0 = 0; j0 < n; j0 += b) {
     const std::size_t jb = j0 / b;
@@ -209,7 +253,9 @@ void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
         detail::charge_local_solve(h, kw, w, kw, b1);
       });
       // The fresh U block feeds every later block of the column.
-      m.bcast(colg, kw * w);
+      m.bcast(colg, kw * w,
+              move ? detail::pack_block(A.block(k0, j0, kw, w), scratch)
+                   : nullptr);
     }
 
     // Below-diagonal update: each rank of the column group applies
@@ -239,7 +285,9 @@ void lu_left_looking(Machine& m, linalg::MatrixView<double> A, std::size_t b,
                      linalg::lu_nopivot_unblocked(A.block(j0, j0, w, w));
                      detail::charge_local_solve(h, w, w, w, b1);
                    });
-    m.bcast(colg, w * w);
+    m.bcast(colg, w * w,
+            move ? detail::pack_block(A.block(j0, j0, w, w), scratch)
+                 : nullptr);
 
     // Solve below the diagonal and write the finished block column to
     // NVM exactly once -- the WA schedule's defining property.  Each

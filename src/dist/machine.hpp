@@ -27,8 +27,17 @@
 // on a thread pool.  Wall-clock spent inside local phases is
 // accumulated so modelled alpha-beta cost and measured time can be
 // printed side by side.
+//
+// *Whether* a charged transfer also physically moves bytes is
+// delegated to the data-movement layer (dist/transport.hpp): the
+// default SimTransport keeps the original charge-only behavior, while
+// ShmTransport (WA_TRANSPORT=shm) really moves every payload between
+// per-rank heap arenas through checksummed message queues.  Charging
+// always happens first and never depends on the transport, so the
+// counters are byte-identical across transports by construction.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -39,6 +48,7 @@
 #include <vector>
 
 #include "dist/backend.hpp"
+#include "dist/transport.hpp"
 #include "memsim/hierarchy.hpp"
 
 namespace wa::dist {
@@ -95,16 +105,20 @@ class Machine {
  public:
   Machine(std::size_t P, std::size_t M1, std::size_t M2, std::size_t M3,
           HwParams hw = HwParams{},
-          std::unique_ptr<Backend> backend = nullptr)
+          std::unique_ptr<Backend> backend = nullptr,
+          std::unique_ptr<Transport> transport = nullptr)
       : P_(P), M1_(M1), M2_(M2), M3_(M3), hw_(hw), procs_(P),
         backend_(backend != nullptr
                      ? std::move(backend)
-                     : std::make_unique<SerialSimBackend>()) {
+                     : std::make_unique<SerialSimBackend>()),
+        transport_(transport != nullptr ? std::move(transport)
+                                        : transport_from_env()) {
     if (P == 0) throw std::invalid_argument("Machine: P must be positive");
     if (M1 == 0 || M1 >= M2 || M2 >= M3) {
       throw std::invalid_argument(
           "Machine: need 0 < M1 < M2 < M3 (strictly increasing levels)");
     }
+    transport_->attach(P_);
   }
 
   std::size_t nprocs() const { return P_; }
@@ -122,16 +136,33 @@ class Machine {
     backend_ = std::move(backend);
   }
 
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
+  void set_transport(std::unique_ptr<Transport> transport) {
+    if (transport == nullptr) {
+      throw std::invalid_argument("Machine: transport must not be null");
+    }
+    transport_ = std::move(transport);
+    transport_->attach(P_);
+  }
+
   const ProcTraffic& proc(std::size_t p) const { return procs_.at(p); }
 
   /// Point-to-point transfer: @p words are charged to both endpoints
   /// (the network channel counts words crossing a processor boundary).
-  void send(std::size_t src, std::size_t dst, std::size_t words) {
+  /// Under a data-moving transport the payload (or, when @p payload is
+  /// null, a same-size synthetic pattern) really travels src -> dst.
+  void send(std::size_t src, std::size_t dst, std::size_t words,
+            const double* payload = nullptr) {
     check_proc(src);
     check_proc(dst);
     if (src == dst) return;  // local move, no network traffic
     procs_[src].nw.add(words);
     procs_[dst].nw.add(words);
+    if (transport_->moves_data()) {
+      const Timer t(comm_wall_seconds_, comm_timer_depth_);
+      transport_->send(src, dst, words, payload);
+    }
   }
 
   /// Rounds of a binomial-tree collective among @p g participants.
@@ -147,23 +178,37 @@ class Machine {
 
   /// Binomial-tree broadcast of @p words among @p group: every
   /// participant is charged ceil(log2 |group|) rounds of @p words.
-  void bcast(const std::vector<std::size_t>& group, std::size_t words) {
+  /// Under a data-moving transport the root's payload is fanned out
+  /// hop by hop along the same binomial tree.
+  void bcast(const std::vector<std::size_t>& group, std::size_t words,
+             const double* payload = nullptr) {
     const std::uint64_t rounds = bcast_rounds(group.size());
     if (rounds == 0) return;
     for (std::size_t p : group) check_proc(p);  // all-or-nothing charging
     for (std::size_t p : group) procs_[p].nw.add(rounds * words, rounds);
+    if (transport_->moves_data()) {
+      const Timer t(comm_wall_seconds_, comm_timer_depth_);
+      transport_->bcast(group, words, payload);
+    }
   }
 
   /// Binomial-tree reduction: the network cost of a broadcast, plus
   /// each round's combine -- merging the received partial into the
-  /// local one writes @p words from L1 back to L2 per round.
-  void reduce(const std::vector<std::size_t>& group, std::size_t words) {
+  /// local one writes @p words from L1 back to L2 per round.  Under a
+  /// data-moving transport partials are really combined elementwise
+  /// at every hop of the gather tree.
+  void reduce(const std::vector<std::size_t>& group, std::size_t words,
+              const double* payload = nullptr) {
     const std::uint64_t rounds = bcast_rounds(group.size());
     if (rounds == 0) return;
     for (std::size_t p : group) check_proc(p);  // all-or-nothing charging
     for (std::size_t p : group) {
       procs_[p].nw.add(rounds * words, rounds);
       procs_[p].l2_write.add(rounds * words, rounds);
+    }
+    if (transport_->moves_data()) {
+      const Timer t(comm_wall_seconds_, comm_timer_depth_);
+      transport_->reduce(group, words, payload);
     }
   }
 
@@ -174,7 +219,7 @@ class Machine {
   template <class Fn>
   void run_local(std::size_t p, Fn&& fn) {
     check_proc(p);
-    const Timer t(wall_seconds_);
+    const Timer t(wall_seconds_, local_timer_depth_);
     backend_->run({p}, capacities(),
                   [&fn](std::size_t, memsim::Hierarchy& h) { fn(h); },
                   absorb_sink());
@@ -185,7 +230,7 @@ class Machine {
   /// P-way symmetric phase costs O(1) simulations instead of O(P).
   template <class Fn>
   void run_local_all(Fn&& fn) {
-    const Timer t(wall_seconds_);
+    const Timer t(wall_seconds_, local_timer_depth_);
     backend_->run_replicated(all_ranks(), capacities(),
                              [&fn](memsim::Hierarchy& h) { fn(h); },
                              absorb_sink());
@@ -206,13 +251,19 @@ class Machine {
   template <class Fn>
   void run_local_on(const std::vector<std::size_t>& ranks, Fn&& fn) {
     for (std::size_t p : ranks) check_proc(p);
-    const Timer t(wall_seconds_);
+    const Timer t(wall_seconds_, local_timer_depth_);
     backend_->run(ranks, capacities(), Backend::LocalFn(fn), absorb_sink());
   }
 
   /// Wall-clock seconds spent inside local phases so far (numerics +
   /// counter simulation), for comparison against the modelled cost().
+  /// Nested phases (a run_local_each issued from inside another local
+  /// phase) are counted once: only the outermost timer accumulates.
   double local_wall_seconds() const { return wall_seconds_; }
+
+  /// Wall-clock seconds spent inside the transport moving bytes for
+  /// charged collectives; always 0 under the charge-only SimTransport.
+  double comm_wall_seconds() const { return comm_wall_seconds_; }
 
   /// Alpha-beta time of one processor's counters.
   double proc_cost(std::size_t p) const {
@@ -253,19 +304,28 @@ class Machine {
   }
 
  private:
-  /// Accumulates elapsed wall-clock into @p out on destruction.
+  /// Accumulates elapsed wall-clock into @p out on destruction --
+  /// but only for the *outermost* timer of its depth counter, so a
+  /// nested phase (run_local_each issued from inside another local
+  /// phase) is not double-counted.
   class Timer {
    public:
-    explicit Timer(double& out)
-        : out_(out), start_(std::chrono::steady_clock::now()) {}
+    Timer(double& out, std::atomic<int>& depth)
+        : out_(out), depth_(depth), outermost_(depth.fetch_add(1) == 0),
+          start_(std::chrono::steady_clock::now()) {}
     ~Timer() {
-      out_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            start_)
-                  .count();
+      if (outermost_) {
+        out_ += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+      }
+      depth_.fetch_sub(1);
     }
 
    private:
     double& out_;
+    std::atomic<int>& depth_;
+    bool outermost_;
     std::chrono::steady_clock::time_point start_;
   };
 
@@ -298,7 +358,11 @@ class Machine {
   HwParams hw_;
   std::vector<ProcTraffic> procs_;
   std::unique_ptr<Backend> backend_;
+  std::unique_ptr<Transport> transport_;
   double wall_seconds_ = 0.0;
+  double comm_wall_seconds_ = 0.0;
+  std::atomic<int> local_timer_depth_{0};
+  std::atomic<int> comm_timer_depth_{0};
 };
 
 }  // namespace wa::dist

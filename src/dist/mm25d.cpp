@@ -38,22 +38,39 @@ void mm_25d(Machine& m, const ProcessGrid3D& g, linalg::MatrixView<double> C,
   // chunked: the same words in more, smaller broadcasts.  Ceiling
   // division so a chunk_c2 that does not divide c still broadcasts in
   // pieces no coarser than chunk_c2 layer units.
+  const bool move = m.transport().moves_data();
+  std::vector<double> scratch, scratch_b;
   if (c > 1) {
     const std::size_t chunk =
         std::min(opt.chunk_c2 == 0 ? c : opt.chunk_c2, c);
     for (std::size_t i = 0; i < lg.rows(); ++i) {
       for (std::size_t j = 0; j < lg.cols(); ++j) {
-        const std::size_t blk =
-            lg.row_block(n, i).sz * lg.col_block(n, j).sz;
+        const BlockRange rb = lg.row_block(n, i);
+        const BlockRange cb = lg.col_block(n, j);
+        const std::size_t blk = rb.sz * cb.sz;
         if (blk == 0) continue;
         const auto fiber = g.fiber_group(i, j);
         const auto pieces =
             detail::split_words(blk, (c + chunk - 1) / chunk);
+        // Real replicas move piecewise: pack the owned A/B blocks once
+        // and fan out each chunk with a running offset.
+        const double* a_pay =
+            move ? detail::pack_block(
+                       A.block(rb.off, cb.off, rb.sz, cb.sz), scratch)
+                 : nullptr;
+        const double* b_pay =
+            move ? detail::pack_block(
+                       B.block(rb.off, cb.off, rb.sz, cb.sz), scratch_b)
+                 : nullptr;
+        std::size_t off = 0;
         for (std::size_t w : pieces) {
-          m.bcast(fiber, w);  // replicate A(i,j)
-          m.bcast(fiber, w);  // replicate B(i,j)
+          m.bcast(fiber, w, a_pay != nullptr ? a_pay + off : nullptr);
+          m.bcast(fiber, w, b_pay != nullptr ? b_pay + off : nullptr);
+          off += w;
         }
-        for (std::size_t w : pieces) m.reduce(fiber, w);  // sum partial C
+        // The partial C blocks do not exist yet at charge time; the
+        // transport moves (and combines) synthetic partials instead.
+        for (std::size_t w : pieces) m.reduce(fiber, w);
       }
     }
   }
@@ -63,14 +80,26 @@ void mm_25d(Machine& m, const ProcessGrid3D& g, linalg::MatrixView<double> C,
   for (std::size_t l = 0; l < c; ++l) {
     const BlockRange steps = g.layer_steps(panels.size(), l);
     for (std::size_t t = steps.off; t < steps.off + steps.sz; ++t) {
-      const std::size_t w = panels[t].sz;
+      const BlockRange& panel = panels[t];
       for (std::size_t i = 0; i < lg.rows(); ++i) {
-        const std::size_t words = lg.row_block(n, i).sz * w;
-        if (words > 0) m.bcast(g.row_group(i, l), words);
+        const BlockRange rb = lg.row_block(n, i);
+        const std::size_t words = rb.sz * panel.sz;
+        if (words == 0) continue;
+        const double* payload =
+            move ? detail::pack_block(
+                       A.block(rb.off, panel.off, rb.sz, panel.sz), scratch)
+                 : nullptr;
+        m.bcast(g.row_group(i, l), words, payload);
       }
       for (std::size_t j = 0; j < lg.cols(); ++j) {
-        const std::size_t words = w * lg.col_block(n, j).sz;
-        if (words > 0) m.bcast(g.col_group(j, l), words);
+        const BlockRange cb = lg.col_block(n, j);
+        const std::size_t words = panel.sz * cb.sz;
+        if (words == 0) continue;
+        const double* payload =
+            move ? detail::pack_block(
+                       B.block(panel.off, cb.off, panel.sz, cb.sz), scratch)
+                 : nullptr;
+        m.bcast(g.col_group(j, l), words, payload);
       }
     }
   }

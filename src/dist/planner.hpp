@@ -31,12 +31,39 @@
 namespace wa::dist {
 
 /// Problem shape the planner reasons about: matrix edge, processor
-/// count, and per-processor DRAM capacity (the Model 2.2 block size).
+/// count, per-processor DRAM capacity (the Model 2.2 block size), and
+/// per-processor NVM capacity (bounds how many 2.5D replicas fit).
 struct PlannerProblem {
   std::size_t n = 1 << 15;
   std::size_t P = 1 << 12;
   std::size_t M2 = 1 << 22;
+  std::size_t M3 = 1 << 26;
 };
+
+/// Closed-form replication factor for the 2.5D path: among c with
+/// c | P and c^3 <= P (the 2.5D grid constraint) whose 3c n^2 / P
+/// replica blocks (A, B, and the partial C) fit in the M3 words of
+/// NVM, pick the c minimizing the dominant beta cost of 2.5DMML3ooL2
+/// -- the memory/word trade-off of Eq. (2): words shrink as
+/// 1/sqrt(Pc), memory grows linearly in c.
+inline std::size_t choose_replication(std::size_t n, std::size_t P,
+                                      std::size_t M2, std::size_t M3,
+                                      const HwParams& hw) {
+  std::size_t best_c = 1;
+  double best_t = dom_beta_cost_25dmml3ool2(n, P, M2, 1, hw);
+  for (std::size_t c = 2; c * c * c <= P; ++c) {
+    if (P % c != 0) continue;
+    if (3.0 * double(c) * double(n) * double(n) / double(P) > double(M3)) {
+      continue;
+    }
+    const double t = dom_beta_cost_25dmml3ool2(n, P, M2, c, hw);
+    if (t < best_t) {
+      best_t = t;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
 
 /// One planning verdict: the predicted-best algorithm plus both
 /// modelled execution times, in seconds.
@@ -79,6 +106,13 @@ class Planner {
         dom_beta_cost_summal3ool2(problem_.n, problem_.P, problem_.M2, hw_);
     return t25 < tsu ? PlannerChoice{"2.5DMML3ooL2", t25, tsu}
                      : PlannerChoice{"SUMMAL3ooL2", tsu, t25};
+  }
+
+  /// The replication factor the 2.5D path should deploy with under
+  /// this machine's NVM capacity (see choose_replication).
+  std::size_t best_replication() const {
+    return choose_replication(problem_.n, problem_.P, problem_.M2,
+                              problem_.M3, hw_);
   }
 
   /// Model 2.2 LU: write-avoiding LL-LUNP vs network-optimal RL-LUNP.
@@ -135,6 +169,7 @@ struct KrylovPlan {
   krylov::CaCgMode mode = krylov::CaCgMode::kStreaming;
   krylov::CaCgBasis basis = krylov::CaCgBasis::kMonomial;
   std::string backend;       ///< "serial" or "threaded"
+  std::size_t c = 1;         ///< 2.5D replication factor for dense stages
   double predicted_seconds;  ///< modelled time per CG step per solve
 
   /// CA-CG options matching the plan (meaningless for "cg").
@@ -154,7 +189,11 @@ struct KrylovPlan {
 /// (Newton basis past s = 8, where the monomial basis degrades).
 class KrylovAutotuner {
  public:
-  explicit KrylovAutotuner(HwParams hw) : hw_(hw) {}
+  /// @p M2/@p M3 are the per-rank DRAM/NVM capacities the replication
+  /// planning is bounded by (defaults match PlannerProblem).
+  explicit KrylovAutotuner(HwParams hw, std::size_t M2 = 1 << 22,
+                           std::size_t M3 = 1 << 26)
+      : hw_(hw), M2_(M2), M3_(M3) {}
 
   /// The tuned plan for solving @p A with batches of @p b RHS on
   /// @p P ranks.  First request per fingerprint runs the model sweep
@@ -245,6 +284,10 @@ class KrylovAutotuner {
     best.algorithm = "cg";
     best.partition = mesh ? PartitionKind::kBlocks2D : PartitionKind::kRows1D;
     best.backend = key.P >= 4 ? "threaded" : "serial";
+    // Dense stages riding along with the solve (e.g. blocked Gram /
+    // basis assembly through the 2.5D path) deploy with the
+    // closed-form replication factor for this machine's NVM budget.
+    best.c = choose_replication(key.fp.n, key.P, M2_, M3_, hw_);
     best.s = 0;
     best.predicted_seconds = step_cost(key.fp, key.P, key.b, 0,
                                        krylov::CaCgMode::kStored);
@@ -266,6 +309,7 @@ class KrylovAutotuner {
   }
 
   HwParams hw_;
+  std::size_t M2_, M3_;
   std::map<Key, KrylovPlan> cache_;
   std::size_t hits_ = 0, misses_ = 0;
 };

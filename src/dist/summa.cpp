@@ -33,15 +33,33 @@ Layout validate_2d(const Machine& m, const ProcessGrid& g,
 // Panel broadcasts of one SUMMA step: A(:,k) along rows, B(k,:) along
 // columns; every processor participates in exactly two of them.  On a
 // padded grid the panel words vary with the owner's edge-block sizes.
+// Under a data-moving transport the real A/B panel blocks are packed
+// and fanned out along the charged binomial trees.
 void charge_step_bcasts(Machine& m, const ProcessGrid& g, std::size_t n,
-                        std::size_t panel_w) {
+                        const BlockRange& panel,
+                        linalg::ConstMatrixView<double> A,
+                        linalg::ConstMatrixView<double> B,
+                        std::vector<double>& scratch) {
+  const bool move = m.transport().moves_data();
   for (std::size_t i = 0; i < g.rows(); ++i) {
-    const std::size_t words = g.row_block(n, i).sz * panel_w;
-    if (words > 0) m.bcast(g.row_group(i), words);
+    const BlockRange rb = g.row_block(n, i);
+    const std::size_t words = rb.sz * panel.sz;
+    if (words == 0) continue;
+    const double* payload =
+        move ? detail::pack_block(
+                   A.block(rb.off, panel.off, rb.sz, panel.sz), scratch)
+             : nullptr;
+    m.bcast(g.row_group(i), words, payload);
   }
   for (std::size_t j = 0; j < g.cols(); ++j) {
-    const std::size_t words = panel_w * g.col_block(n, j).sz;
-    if (words > 0) m.bcast(g.col_group(j), words);
+    const BlockRange cb = g.col_block(n, j);
+    const std::size_t words = panel.sz * cb.sz;
+    if (words == 0) continue;
+    const double* payload =
+        move ? detail::pack_block(
+                   B.block(panel.off, cb.off, panel.sz, cb.sz), scratch)
+             : nullptr;
+    m.bcast(g.col_group(j), words, payload);
   }
 }
 
@@ -67,8 +85,9 @@ void summa_2d(Machine& m, const ProcessGrid& g, linalg::MatrixView<double> C,
               linalg::ConstMatrixView<double> B) {
   const Layout L = validate_2d(m, g, C, A, B, "summa");
 
+  std::vector<double> scratch;
   for (const BlockRange& panel : L.panels) {
-    charge_step_bcasts(m, g, L.n, panel.sz);
+    charge_step_bcasts(m, g, L.n, panel, A, B, scratch);
   }
 
   const std::size_t b1 = detail::l1_tile(m.M1());
@@ -102,8 +121,9 @@ void summa_2d_hoarding(Machine& m, const ProcessGrid& g,
         "in L2");
   }
 
+  std::vector<double> scratch;
   for (const BlockRange& panel : L.panels) {
-    charge_step_bcasts(m, g, L.n, panel.sz);
+    charge_step_bcasts(m, g, L.n, panel, A, B, scratch);
   }
 
   const std::size_t b1 = detail::l1_tile(m.M1());
@@ -139,8 +159,9 @@ void summa_l3_ool2(Machine& m, const ProcessGrid& g,
         "must fit in L2");
   }
 
+  std::vector<double> scratch;
   for (const BlockRange& panel : L.panels) {
-    charge_step_bcasts(m, g, L.n, panel.sz);
+    charge_step_bcasts(m, g, L.n, panel, A, B, scratch);
   }
 
   const std::size_t b1 = detail::l1_tile(m.M1());

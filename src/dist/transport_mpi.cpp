@@ -1,0 +1,116 @@
+// wa::dist -- the optional MPI leg of the Transport seam.
+//
+// Compiled as a stub unless CMake found MPI and defined WA_HAVE_MPI
+// (-DWA_WITH_MPI=ON): the container/CI images do not ship an MPI
+// toolchain, so the default build must not depend on one.  When
+// enabled, MpiTransport drives every modelled transfer through
+// MPI_Sendrecv on a self-communicator -- one process hosts all
+// virtual ranks, each with its own arena, exactly like ShmTransport,
+// but the bytes travel through MPI's progress engine so the same
+// algorithm code exercises a real MPI datapath.  A multi-process
+// deployment (one OS process per virtual rank) would implement the
+// same interface against MPI_COMM_WORLD; the seam is identical.
+
+#include "dist/transport.hpp"
+
+#ifdef WA_HAVE_MPI
+
+#include <mpi.h>
+
+#include <cstring>
+
+namespace wa::dist {
+namespace {
+
+class MpiTransport final : public Transport {
+ public:
+  MpiTransport() {
+    int initialized = 0;
+    MPI_Initialized(&initialized);
+    if (!initialized) MPI_Init(nullptr, nullptr);
+  }
+
+  const char* name() const override { return "mpi"; }
+  bool moves_data() const override { return true; }
+
+  void attach(std::size_t P) override {
+    P_ = P;
+    arenas_.assign(P, {});
+  }
+
+  void send(std::size_t src, std::size_t dst, std::size_t words,
+            const double* payload) override {
+    if (words == 0 || src == dst || src >= P_ || dst >= P_) return;
+    std::vector<double>& out = arenas_[dst];
+    if (out.size() < words) out.resize(words);
+    std::vector<double> staged(words);
+    if (payload != nullptr) {
+      std::memcpy(staged.data(), payload, words * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < words; ++i) {
+        staged[i] =
+            double((src * 2654435761ull + i * 40503ull) & 0xFFFFull) * 1e-3;
+      }
+    }
+    MPI_Sendrecv(staged.data(), int(words), MPI_DOUBLE, 0, int(src & 0x7fff),
+                 out.data(), int(words), MPI_DOUBLE, 0, int(src & 0x7fff),
+                 MPI_COMM_SELF, MPI_STATUS_IGNORE);
+    ++stats_.messages;
+    stats_.words += words;
+    stats_.verified +=
+        std::memcmp(staged.data(), out.data(), words * sizeof(double)) == 0
+            ? words
+            : 0;
+  }
+
+  void bcast(const std::vector<std::size_t>& group, std::size_t words,
+             const double* payload) override {
+    for (std::size_t step = 1; step < group.size(); step *= 2) {
+      for (std::size_t i = 0; i < step && i + step < group.size(); ++i) {
+        send(group[i], group[i + step], words, i == 0 ? payload : nullptr);
+      }
+    }
+  }
+
+  void reduce(const std::vector<std::size_t>& group, std::size_t words,
+              const double* payload) override {
+    for (std::size_t step = 1; step < group.size(); step *= 2) {
+      for (std::size_t i = 0; i + step < group.size(); i += 2 * step) {
+        send(group[i + step], group[i], words, payload);
+      }
+    }
+  }
+
+  TransportStats stats() const override { return stats_; }
+
+ private:
+  std::size_t P_ = 0;
+  std::vector<std::vector<double>> arenas_;
+  TransportStats stats_;
+};
+
+}  // namespace
+
+bool mpi_transport_available() { return true; }
+
+std::unique_ptr<Transport> make_mpi_transport() {
+  return std::make_unique<MpiTransport>();
+}
+
+}  // namespace wa::dist
+
+#else  // !WA_HAVE_MPI
+
+namespace wa::dist {
+
+bool mpi_transport_available() { return false; }
+
+std::unique_ptr<Transport> make_mpi_transport() {
+  throw std::invalid_argument(
+      "make_mpi_transport: this build does not carry MPI (reconfigure "
+      "with -DWA_WITH_MPI=ON and an MPI toolchain)");
+}
+
+}  // namespace wa::dist
+
+#endif  // WA_HAVE_MPI

@@ -405,17 +405,19 @@ TEST(Backends, ErrorPathChargesTheSameRanksAsSerial) {
   // Rank 5 of 8 throws: both backends must have charged exactly the
   // ranks a serial run reaches before the throw (0..4) and nothing
   // after, so error-handling code sees identical machine state.
-  const auto run = [](std::unique_ptr<Backend> be) {
-    Machine m(8, 192, 4096, 1 << 22, HwParams{}, std::move(be));
+  const auto run = [](Machine& m) {
     EXPECT_THROW(m.run_local_each([](std::size_t p, memsim::Hierarchy& h) {
       if (p == 5) throw std::runtime_error("rank 5 fails");
       h.load(0, 7);
     }),
                  std::runtime_error);
-    return m;
   };
-  const Machine serial = run(std::make_unique<SerialSimBackend>());
-  const Machine threaded = run(std::make_unique<ThreadedBackend>(4));
+  Machine serial(8, 192, 4096, 1 << 22, HwParams{},
+                 std::make_unique<SerialSimBackend>());
+  run(serial);
+  Machine threaded(8, 192, 4096, 1 << 22, HwParams{},
+                   std::make_unique<ThreadedBackend>(4));
+  run(threaded);
   for (std::size_t p = 0; p < 8; ++p) {
     EXPECT_EQ(serial.proc(p).l2_read.words, p < 5 ? 7u : 0u) << p;
     EXPECT_EQ(threaded.proc(p).l2_read.words, serial.proc(p).l2_read.words)

@@ -1,0 +1,137 @@
+// Wall-clock accounting edge cases of the Machine: zero-duration and
+// empty phases, nested local phases (counted once, not twice), the
+// comm clock's dependence on the transport's moves_data(), clock
+// accumulation across transport swaps, and reset() semantics (clocks
+// survive, counters do not).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "dist/machine.hpp"
+#include "dist/transport.hpp"
+
+namespace wa::dist {
+namespace {
+
+Machine make_machine(std::size_t P, std::unique_ptr<Transport> tp = nullptr) {
+  return Machine(P, 192, 4096, std::size_t(1) << 24, HwParams{}, nullptr,
+                 tp != nullptr ? std::move(tp)
+                               : std::make_unique<SimTransport>());
+}
+
+void spin_sleep(double seconds) {
+  // steady_clock-bounded busy wait: sleep_for can oversleep by more
+  // than the margins these tests assert on.
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST(MachineClockTest, FreshMachineHasZeroClocks) {
+  Machine m = make_machine(2);
+  EXPECT_EQ(m.local_wall_seconds(), 0.0);
+  EXPECT_EQ(m.comm_wall_seconds(), 0.0);
+}
+
+TEST(MachineClockTest, ZeroDurationPhasesAccumulateAlmostNothing) {
+  Machine m = make_machine(2);
+  m.run_local(0, [](memsim::Hierarchy&) {});
+  m.run_local_each([](std::size_t, memsim::Hierarchy&) {});
+  m.run_local_on({}, [](std::size_t, memsim::Hierarchy&) {});  // empty ranks
+  m.run_local_all([](memsim::Hierarchy&) {});
+  EXPECT_GE(m.local_wall_seconds(), 0.0);
+  EXPECT_LT(m.local_wall_seconds(), 0.5);  // epsilon, not a phase
+}
+
+TEST(MachineClockTest, EmptyCollectivesDoNotTouchTheTransport) {
+  Machine m = make_machine(3, std::make_unique<ShmTransport>());
+  m.bcast({0}, 64);     // single-rank group: zero rounds
+  m.reduce({2}, 64);    // single-rank group: zero rounds
+  m.send(1, 1, 64);     // self-send: local move
+  const auto& shm = dynamic_cast<const ShmTransport&>(m.transport());
+  EXPECT_EQ(shm.stats().messages, 0u);
+  EXPECT_EQ(shm.stats().words, 0u);
+  EXPECT_EQ(m.proc(0).nw.words, 0u);
+  EXPECT_EQ(m.comm_wall_seconds(), 0.0);
+}
+
+TEST(MachineClockTest, NestedLocalPhasesAreCountedOnce) {
+  Machine m = make_machine(2);
+  const double inner = 0.05;
+  // A local phase that issues another local phase from inside: only
+  // the outermost timer may accumulate, so the total is ~inner, not
+  // ~2 * inner.
+  m.run_local(0, [&](memsim::Hierarchy&) {
+    m.run_local(1, [&](memsim::Hierarchy&) { spin_sleep(inner); });
+  });
+  EXPECT_GE(m.local_wall_seconds(), inner);
+  EXPECT_LT(m.local_wall_seconds(), 1.8 * inner);
+}
+
+TEST(MachineClockTest, CommClockFollowsMovesData) {
+  // Charge-only transport: counters move, the comm clock does not.
+  Machine sim = make_machine(4, std::make_unique<SimTransport>());
+  sim.bcast({0, 1, 2, 3}, 1 << 16);
+  EXPECT_GT(sim.proc(0).nw.words, 0u);
+  EXPECT_EQ(sim.comm_wall_seconds(), 0.0);
+
+  // Data-moving transport: same charge, nonzero time in the bytes.
+  Machine shm = make_machine(4, std::make_unique<ShmTransport>());
+  shm.bcast({0, 1, 2, 3}, 1 << 16);
+  EXPECT_EQ(shm.proc(0).nw.words, sim.proc(0).nw.words);
+  EXPECT_GT(shm.comm_wall_seconds(), 0.0);
+}
+
+TEST(MachineClockTest, ClocksAccumulateAcrossTransportSwaps) {
+  Machine m = make_machine(2, std::make_unique<ShmTransport>());
+  m.send(0, 1, 1 << 14);
+  const double after_first = m.comm_wall_seconds();
+  EXPECT_GT(after_first, 0.0);
+
+  // Swapping the transport must not reset the machine's comm clock:
+  // it keeps accounting for the same run.
+  m.set_transport(std::make_unique<ShmTransport>());
+  m.send(1, 0, 1 << 14);
+  EXPECT_GT(m.comm_wall_seconds(), after_first);
+
+  // A swap to the charge-only transport freezes (but keeps) it.
+  m.set_transport(std::make_unique<SimTransport>());
+  const double frozen = m.comm_wall_seconds();
+  m.send(0, 1, 1 << 14);
+  EXPECT_EQ(m.comm_wall_seconds(), frozen);
+}
+
+TEST(MachineClockTest, LocalClockAccumulatesAcrossPhases) {
+  Machine m = make_machine(1);
+  m.run_local(0, [](memsim::Hierarchy&) { spin_sleep(0.01); });
+  const double one = m.local_wall_seconds();
+  m.run_local(0, [](memsim::Hierarchy&) { spin_sleep(0.01); });
+  EXPECT_GE(m.local_wall_seconds(), one + 0.01);
+}
+
+TEST(MachineClockTest, ResetZeroesCountersButKeepsClocks) {
+  Machine m = make_machine(2, std::make_unique<ShmTransport>());
+  m.send(0, 1, 1 << 14);
+  m.run_local(0, [](memsim::Hierarchy&) { spin_sleep(0.01); });
+  ASSERT_GT(m.proc(0).nw.words, 0u);
+  const double local = m.local_wall_seconds();
+  const double comm = m.comm_wall_seconds();
+  ASSERT_GT(local, 0.0);
+  ASSERT_GT(comm, 0.0);
+
+  m.reset();
+  EXPECT_EQ(m.proc(0).nw.words, 0u);
+  EXPECT_EQ(m.proc(1).nw.words, 0u);
+  // The clocks are measurements of this process's past, not modelled
+  // state; reset() starts a new counting experiment without erasing
+  // what was measured.
+  EXPECT_EQ(m.local_wall_seconds(), local);
+  EXPECT_EQ(m.comm_wall_seconds(), comm);
+}
+
+}  // namespace
+}  // namespace wa::dist

@@ -448,5 +448,89 @@ TEST(KrylovAutotuner, SlowNvmPrefersWriteAvoidingCaCg) {
   EXPECT_LE(t16, t1);
 }
 
+// ---- replication-factor (c) planning ------------------------------------
+
+/// Brute force over every candidate replication factor: c | P,
+/// c^3 <= P, and the 3c n^2 / P replica blocks fit in M3 words of
+/// NVM; argmin of the dominant 2.5DMML3ooL2 beta cost.  The planner's
+/// closed form must agree exactly.
+std::size_t brute_force_c(std::size_t n, std::size_t P, std::size_t M2,
+                          std::size_t M3, const dist::HwParams& hw) {
+  std::size_t best = 1;
+  double best_t = dist::dom_beta_cost_25dmml3ool2(n, P, M2, 1, hw);
+  for (std::size_t c = 2; c <= P; ++c) {
+    if (P % c != 0 || c * c * c > P) continue;
+    if (3.0 * double(c) * double(n) * double(n) > double(M3) * double(P)) {
+      continue;
+    }
+    const double t = dist::dom_beta_cost_25dmml3ool2(n, P, M2, c, hw);
+    if (t < best_t) {
+      best_t = t;
+      best = c;
+    }
+  }
+  return best;
+}
+
+TEST(ReplicationPlanning, MatchesBruteForceTradeoff) {
+  const dist::HwParams hw{};
+  for (const std::size_t P : {1u, 4u, 64u, 4096u}) {
+    for (const std::size_t n : {1u << 10, 1u << 14}) {
+      for (const std::size_t M3 : {std::size_t(1) << 20,
+                                   std::size_t(1) << 26,
+                                   std::size_t(1) << 34}) {
+        EXPECT_EQ(dist::choose_replication(n, P, 1 << 22, M3, hw),
+                  brute_force_c(n, P, 1 << 22, M3, hw))
+            << "P=" << P << " n=" << n << " M3=" << M3;
+      }
+    }
+  }
+}
+
+TEST(ReplicationPlanning, ReplicatesWhenMemoryAllows) {
+  // P >> c^3 with ample NVM: Eq. (2)'s 1/sqrt(Pc) word shrink wins
+  // and the planner deploys replicas.
+  const dist::HwParams hw{};
+  const std::size_t c =
+      dist::choose_replication(1 << 14, 4096, 1 << 22, std::size_t(1) << 34,
+                               hw);
+  EXPECT_GT(c, 1u);
+  EXPECT_EQ(4096 % c, 0u);
+  EXPECT_LE(c * c * c, 4096u);
+}
+
+TEST(ReplicationPlanning, CapacityBoundForcesCDown) {
+  // n = 4096, P = 64: one replica set is 3 n^2 / P = 786432 words.
+  // M3 = 2^20 fits exactly one -- any c >= 2 would overflow NVM, so
+  // the trade-off must stop at c = 1 no matter what the betas say.
+  const dist::HwParams hw = dist::HwParams::slow_nvm();
+  EXPECT_EQ(dist::choose_replication(4096, 64, 1 << 22,
+                                     std::size_t(1) << 20, hw),
+            1u);
+  // Quadruple the capacity and the constraint releases.
+  EXPECT_GE(dist::choose_replication(4096, 64, 1 << 22,
+                                     std::size_t(1) << 22, hw),
+            dist::choose_replication(4096, 64, 1 << 22,
+                                     std::size_t(1) << 20, hw));
+}
+
+TEST(ReplicationPlanning, PlannerAndAutotunerExposeTheSameC) {
+  const dist::HwParams hw{};
+  dist::PlannerProblem prob;
+  prob.n = 1 << 14;
+  prob.P = 4096;
+  prob.M3 = std::size_t(1) << 30;
+  const dist::Planner planner(hw, prob);
+  EXPECT_EQ(planner.best_replication(),
+            dist::choose_replication(prob.n, prob.P, prob.M2, prob.M3, hw));
+
+  // The autotuner stamps the same closed-form c into its plans.
+  dist::KrylovAutotuner tuner{hw, 1 << 22, std::size_t(1) << 30};
+  const auto A = sparse::stencil_1d(1 << 14, 1);
+  EXPECT_EQ(tuner.plan(A, 4096, 8).c,
+            dist::choose_replication(1 << 14, 4096, 1 << 22,
+                                     std::size_t(1) << 30, hw));
+}
+
 }  // namespace
 }  // namespace wa
