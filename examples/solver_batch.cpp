@@ -57,7 +57,14 @@ const char* mode_name(krylov::CaCgMode m) {
 }
 
 const char* part_name(dist::PartitionKind k) {
-  return k == dist::PartitionKind::kBlocks2D ? "2d-blocks" : "1d-rows";
+  switch (k) {
+    case dist::PartitionKind::kBlocks2D:
+      return "2d-blocks";
+    case dist::PartitionKind::kGraph:
+      return "graph";
+    default:
+      return "1d-rows";
+  }
 }
 
 }  // namespace
@@ -77,6 +84,13 @@ int main(int argc, char** argv) {
   ops.push_back({"tridiag-1d", sparse::stencil_1d(n1d, 1)});
   ops.push_back({"cross-2d", sparse::stencil_2d_cross(mx, my, 1)});
   ops.push_back({"box-2d", sparse::stencil_2d(mx, my, 1)});
+  // No mesh geometry: the tuner routes this one onto the graph
+  // partition, scored from its counted s-hop ghost words.  On this
+  // expander the closure saturates after two hops, so the tuner
+  // declines the deep-basis candidates (no halo left to amortize)
+  // and lands on CG / s=2 -- which also keeps the basis well away
+  // from the fragile long-polynomial regime.
+  ops.push_back({"graph-spd", sparse::random_spd_graph(n1d / 3, 8, 7)});
 
   dist::KrylovAutotuner tuner(hw);
   std::printf("batch solver driver: P=%zu, preset=%s, backend=%s\n\n", P,

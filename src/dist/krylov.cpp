@@ -66,15 +66,6 @@ void for_each_run_local(const Partition& part, const NodeBox& b,
   }
 }
 
-/// A-words (values + cols) of every row of box @p b.
-std::size_t box_nnz(const sparse::Csr& A, const Partition& part,
-                    const NodeBox& b) {
-  std::size_t words = 0;
-  for_each_run(part, b,
-               [&](std::size_t lo, std::size_t hi) { words += rows_nnz(A, lo, hi); });
-  return words;
-}
-
 /// True when walking box @p b in (z, y, x) order visits consecutive
 /// global rows, i.e. local index == global index - origin.  Then the
 /// basis recurrence can read neighbours through a constant offset
@@ -128,19 +119,31 @@ std::vector<NodeBox> stream_chunks(const Partition& part, const NodeBox& o,
 /// calling thread (deterministic under every backend, and exactly the
 /// full-range sum when P = 1, which is what pins the P = 1 runs
 /// bitwise-equal to the shared-memory solvers).
+///
+/// Every rank's owned rows are flattened into ascending [lo, hi)
+/// global-row runs once here -- from the box geometry for the mesh
+/// partitions (identical to walking the box with for_each_run) or
+/// from GraphPartition's owned runs -- so the O(n) vector phases
+/// (setup, classical CG steps, delta recomputes) iterate one shape
+/// whatever the partition.  Only the matrix-powers basis phases still
+/// dispatch on geometry (box extents vs. sparsity-derived plans).
 struct PartRun {
   Machine& m;
   const sparse::Csr& A;
   const Partition& part;
+  const GraphPartition* gp;  // non-null on sparsity-driven partitions
   std::size_t P;
   std::vector<std::size_t> group;
-  std::vector<NodeBox> own;
+  std::vector<NodeBox> own;  // box partitions only (empty boxes on graphs)
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> runs;
   std::vector<std::size_t> own_sz;
+  std::vector<std::size_t> own_nnz;  // A-words of the owned rows
   std::vector<double> partial;
 
   PartRun(Machine& mm, const sparse::Csr& a, const Partition& pt)
-      : m(mm), A(a), part(pt), P(pt.ranks()), group(pt.group()), own(P),
-        own_sz(P), partial(P, 0.0) {
+      : m(mm), A(a), part(pt), gp(pt.graph()), P(pt.ranks()),
+        group(pt.group()), own(P), runs(P), own_sz(P), own_nnz(P),
+        partial(P, 0.0) {
     if (pt.ranks() != mm.nprocs()) {
       throw std::invalid_argument(
           "dist: partition rank count differs from the machine's P");
@@ -149,9 +152,26 @@ struct PartRun {
       throw std::invalid_argument("dist: partition does not cover the matrix");
     }
     for (std::size_t p = 0; p < P; ++p) {
-      own[p] = pt.owned(p);
-      own_sz[p] = own[p].volume();
+      if (gp != nullptr) {
+        runs[p] = gp->owned_runs(p);
+        own_sz[p] = gp->owned_count(p);
+      } else {
+        own[p] = pt.owned(p);
+        own_sz[p] = own[p].volume();
+        for_each_run(pt, own[p], [&](std::size_t lo, std::size_t hi) {
+          runs[p].emplace_back(lo, hi);
+        });
+      }
+      std::size_t words = 0;
+      for (const auto& [lo, hi] : runs[p]) words += rows_nnz(a, lo, hi);
+      own_nnz[p] = words;
     }
+  }
+
+  /// fn(lo, hi) over rank @p p's owned row runs, ascending.
+  template <class Fn>
+  void for_runs(std::size_t p, Fn&& fn) const {
+    for (const auto& [lo, hi] : runs[p]) fn(lo, hi);
   }
 
   /// Ghost exchange of @p vecs partitioned vectors: owners read the
@@ -280,6 +300,247 @@ std::uint64_t build_basis_box(const sparse::Csr& A, const Partition& part,
   return a_words;
 }
 
+// ---- graph-partition matrix-powers plans --------------------------------
+//
+// The box solvers derive every extent, validity window, and charge
+// from NodeBox geometry.  On a GraphPartition the owned sets are
+// general index sets, so each rank's basis work is precomputed once
+// per solve as GraphChunks: the exact s-hop closure of the chunk's
+// target rows (the extent the ghost exchange fills), a local CSR
+// over the extent, and the per-level computable row sets read off
+// the sparsity -- level l keeps the rows whose every column lies in
+// level l-1's set, the graph form of basis_valid_window's per-axis
+// shrink (owned rows survive to level s because the extent is their
+// s-hop closure).  The per-row arithmetic is the same shifted
+// recurrence as build_basis_box, accumulated in A's stored column
+// order, so at P = 1 (extent = every row, all levels full) the
+// iterates stay bitwise-identical to the shared-memory solver.
+
+struct GraphChunk {
+  std::vector<std::size_t> ext;  // sorted global rows of the extent
+  // Extent-local CSR: full rows for level-1 rows (all columns inside
+  // the extent), empty rows otherwise -- rows outside level 1 are
+  // never advanced, so their columns are never read.
+  std::vector<std::size_t> lrp, lcols;
+  std::vector<double> lvals;
+  // Extent-local [lo, hi) runs of the level-l computable set
+  // (lvl[l - 1], l = 1..s) and the A-words each level reads.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> lvl;
+  std::vector<std::uint64_t> lvl_nnz;
+  // Extent-local runs of the rows this chunk Grams and recovers: the
+  // rank's owned rows (stored mode) or its streaming slice.
+  std::vector<std::pair<std::size_t, std::size_t>> target;
+  std::size_t tsz = 0;        // rows in target
+  std::size_t overlap = 0;    // |extent ∩ owned(p)|: slow-read words
+  std::uint64_t a_words = 0;  // A words one basis build reads
+};
+
+/// Maximal contiguous [lo, hi) runs of a sorted index list.
+std::vector<std::pair<std::size_t, std::size_t>> index_runs(
+    const std::vector<std::size_t>& v) {
+  std::vector<std::pair<std::size_t, std::size_t>> rn;
+  for (std::size_t k = 0; k < v.size();) {
+    std::size_t e = k + 1;
+    while (e < v.size() && v[e] == v[e - 1] + 1) ++e;
+    rn.emplace_back(v[k], v[e - 1] + 1);
+    k = e;
+  }
+  return rn;
+}
+
+GraphChunk make_graph_chunk(const sparse::Csr& A, const GraphPartition& gp,
+                            std::size_t rank,
+                            const std::vector<std::size_t>& seed,
+                            std::size_t s) {
+  GraphChunk ck;
+  ck.ext = gp.closure(seed, s);
+  const std::size_t len = ck.ext.size();
+  ck.tsz = seed.size();
+
+  std::vector<std::size_t> loc(A.n, std::size_t(-1));
+  for (std::size_t li = 0; li < len; ++li) loc[ck.ext[li]] = li;
+
+  // Local CSR and the level-1 set in one pass: a row joins level 1
+  // iff every column is inside the extent (an empty local row must
+  // not count -- membership is tested on the global pattern).
+  ck.lrp.assign(len + 1, 0);
+  std::vector<std::size_t> cur;
+  cur.reserve(len);
+  for (std::size_t li = 0; li < len; ++li) {
+    const std::size_t i = ck.ext[li];
+    bool all_in = true;
+    for (std::size_t q = A.row_ptr[i]; q < A.row_ptr[i + 1]; ++q) {
+      if (loc[A.col_idx[q]] == std::size_t(-1)) {
+        all_in = false;
+        break;
+      }
+    }
+    if (all_in) {
+      for (std::size_t q = A.row_ptr[i]; q < A.row_ptr[i + 1]; ++q) {
+        ck.lcols.push_back(loc[A.col_idx[q]]);
+        ck.lvals.push_back(A.values[q]);
+      }
+      cur.push_back(li);
+    }
+    ck.lrp[li + 1] = ck.lcols.size();
+  }
+
+  ck.lvl.reserve(s);
+  ck.lvl_nnz.reserve(s);
+  std::vector<char> mem(len, 0);
+  std::vector<std::size_t> next;
+  for (std::size_t l = 1; l <= s; ++l) {
+    if (l > 1) {
+      // Shrink: level l keeps the rows of level l-1 whose columns
+      // all sit in level l-1 (local columns suffice -- the kept rows
+      // are level-1 rows, whose local rows are complete).
+      std::fill(mem.begin(), mem.end(), 0);
+      for (const std::size_t li : cur) mem[li] = 1;
+      next.clear();
+      for (const std::size_t li : cur) {
+        bool ok = true;
+        for (std::size_t q = ck.lrp[li]; q < ck.lrp[li + 1]; ++q) {
+          if (!mem[ck.lcols[q]]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) next.push_back(li);
+      }
+      cur.swap(next);
+    }
+    std::uint64_t nz = 0;
+    for (const std::size_t li : cur) nz += ck.lrp[li + 1] - ck.lrp[li];
+    ck.lvl.push_back(index_runs(cur));
+    ck.lvl_nnz.push_back(nz);
+  }
+
+  // A values + cols per advance: p-chain levels 1..s, r-chain 1..s-1
+  // (the same accounting build_basis_box's advance makes per run).
+  for (std::size_t l = 1; l <= s; ++l) ck.a_words += 2 * ck.lvl_nnz[l - 1];
+  for (std::size_t l = 1; l + 1 <= s; ++l) {
+    ck.a_words += 2 * ck.lvl_nnz[l - 1];
+  }
+
+  std::vector<std::size_t> tloc(seed.size());
+  for (std::size_t k = 0; k < seed.size(); ++k) tloc[k] = loc[seed[k]];
+  ck.target = index_runs(tloc);  // seed and ext sorted => tloc ascending
+
+  for (const std::size_t i : ck.ext) {
+    if (gp.owner_of(i) == rank) ++ck.overlap;
+  }
+  return ck;
+}
+
+/// Per-rank basis plans for one solve, loop-invariant across outer
+/// iterations: one whole-owned-set chunk per rank when stored,
+/// ~block_rows-row slices of the owned list when streaming (the
+/// graph analogue of stream_chunks, including the <= 2x extent
+/// re-read amplification between adjacent chunks).
+std::vector<std::vector<GraphChunk>> make_graph_plan(
+    const sparse::Csr& A, const GraphPartition& gp, std::size_t s,
+    CaCgMode mode, std::size_t block_rows) {
+  const std::size_t P = gp.ranks();
+  std::vector<std::vector<GraphChunk>> plan(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    const auto& own = gp.owned_rows(p);
+    if (own.empty()) continue;
+    if (mode == CaCgMode::kStored) {
+      plan[p].push_back(make_graph_chunk(A, gp, p, own, s));
+      continue;
+    }
+    for (std::size_t lo = 0; lo < own.size(); lo += block_rows) {
+      const std::size_t hi = std::min(own.size(), lo + block_rows);
+      const std::vector<std::size_t> slice(own.begin() + lo,
+                                           own.begin() + hi);
+      plan[p].push_back(make_graph_chunk(A, gp, p, slice, s));
+    }
+  }
+  return plan;
+}
+
+/// build_basis_box's graph twin: heads gathered from p and r over the
+/// extent, then the shifted recurrence over the shrinking level runs.
+std::uint64_t build_basis_graph(const GraphChunk& ck,
+                                const kd::BasisCoeffs& bc, std::size_t s,
+                                const std::vector<double>& p,
+                                const std::vector<double>& r,
+                                std::vector<std::vector<double>>& W,
+                                bool reuse) {
+  const std::size_t mm = 2 * s + 1;
+  const std::size_t len = ck.ext.size();
+  if (reuse) {
+    W.resize(mm);
+    for (auto& col : W) col.resize(len);
+  } else {
+    W.assign(mm, std::vector<double>(len, 0.0));
+  }
+  for (std::size_t li = 0; li < len; ++li) {
+    W[0][li] = p[ck.ext[li]];
+    W[s + 1][li] = r[ck.ext[li]];
+  }
+  const auto advance = [&](std::size_t from, std::size_t to,
+                           std::size_t level, double theta) {
+    const double* fc = W[from].data();
+    double* tc = W[to].data();
+    for (const auto& [llo, lhi] : ck.lvl[level - 1]) {
+      for (std::size_t li = llo; li < lhi; ++li) {
+        double t = 0;
+        for (std::size_t q = ck.lrp[li]; q < ck.lrp[li + 1]; ++q) {
+          t += ck.lvals[q] * fc[ck.lcols[q]];
+        }
+        tc[li] = (t - theta * fc[li]) / bc.sigma;
+      }
+    }
+  };
+  for (std::size_t j = 0; j < s; ++j) {
+    advance(j, j + 1, j + 1, bc.theta[j]);
+  }
+  for (std::size_t j = 0; j + 1 < s; ++j) {
+    advance(s + 1 + j, s + 1 + j + 1, j + 1, bc.theta[j]);
+  }
+  return ck.a_words;
+}
+
+/// Gram partial over the chunk's target runs (one gram_upper_acc call
+/// per run: the whole-vs-split bitwise invariance of the kernel keeps
+/// P = 1, with its single [0, n) run, equal to the shared-memory
+/// solver's one call).
+void graph_gram(const GraphChunk& ck, kd::Small& gacc, std::size_t mm,
+                const std::vector<std::vector<double>>& W) {
+  std::vector<const double*> wp(mm);
+  for (std::size_t a = 0; a < mm; ++a) wp[a] = W[a].data();
+  for (const auto& [llo, lhi] : ck.target) {
+    linalg::active_kernels().gram_upper_acc(gacc.a.data(), mm, wp.data(),
+                                            llo, lhi);
+  }
+}
+
+/// Recovery over the chunk's target rows:
+/// [pout, rout, x] = [W] [ph, rh, xh] + [0, 0, x], scattered back to
+/// global indices through ext.
+void graph_recover(const GraphChunk& ck, std::size_t mm,
+                   const std::vector<std::vector<double>>& W,
+                   const std::vector<double>& ph,
+                   const std::vector<double>& rh,
+                   const std::vector<double>& xh, std::span<double> x,
+                   std::vector<double>& pout, std::vector<double>& rout) {
+  for (const auto& [llo, lhi] : ck.target) {
+    for (std::size_t li = llo; li < lhi; ++li) {
+      const std::size_t i = ck.ext[li];
+      double np = 0, nr = 0, nx2 = x[i];
+      for (std::size_t a = 0; a < mm; ++a) {
+        np += W[a][li] * ph[a];
+        nr += W[a][li] * rh[a];
+        nx2 += W[a][li] * xh[a];
+      }
+      pout[i] = np;
+      rout[i] = nr;
+      x[i] = nx2;
+    }
+  }
+}
+
 /// Shared solve setup: ghost exchange of x, per-rank r = b - A x and
 /// p = r (charged at the shared-memory rates), delta = <r, r> via
 /// allreduce, and <b, b> for the stopping threshold (rank-ordered but
@@ -300,27 +561,26 @@ SetupResult residual_setup(PartRun& rp,
 
   rp.exchange(halo1, 1);
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const NodeBox& o = rp.own[rank];
-    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+    rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         w[i] = kd::row_dot(A, i, x.data(), 0);
       }
     });
-    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+    rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         r[i] = b[i] - w[i];
         p[i] = r[i];
       }
     });
     detail::charge_l2_transit(h, recv1[rank], m.M2(), 0);
-    detail::charge_l3_read(h, box_nnz(A, rp.part, o) + 3 * rp.own_sz[rank],
+    detail::charge_l3_read(h, rp.own_nnz[rank] + 3 * rp.own_sz[rank],
                            m.M2());
     detail::charge_l3_write(h, 2 * rp.own_sz[rank], m.M2());
   });
 
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
     double sum = 0.0;
-    for_each_run(rp.part, rp.own[rank], [&](std::size_t lo, std::size_t hi) {
+    rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) sum += r[i] * r[i];
     });
     rp.partial[rank] = sum;
@@ -331,7 +591,7 @@ SetupResult residual_setup(PartRun& rp,
   double bb = 0.0;
   for (std::size_t q = 0; q < rp.P; ++q) {
     double sum = 0.0;
-    for_each_run(rp.part, rp.own[q], [&](std::size_t lo, std::size_t hi) {
+    rp.for_runs(q, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) sum += b[i] * b[i];
     });
     bb += sum;
@@ -359,19 +619,18 @@ StepResult cg_step(PartRun& rp, const std::vector<HaloTransfer>& halo1,
 
   rp.exchange(halo1, 1);  // p ghosts for the spmv
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const NodeBox& o = rp.own[rank];
     double sum = 0.0;
-    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+    rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         w[i] = kd::row_dot(A, i, p.data(), 0);
       }
     });
-    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+    rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) sum += p[i] * w[i];
     });
     rp.partial[rank] = sum;
     detail::charge_l2_transit(h, recv1[rank], m.M2(), 0);
-    detail::charge_l3_read(h, box_nnz(A, rp.part, o) + 3 * rp.own_sz[rank],
+    detail::charge_l3_read(h, rp.own_nnz[rank] + 3 * rp.own_sz[rank],
                            m.M2());
     detail::charge_l3_write(h, rp.own_sz[rank], m.M2());  // w
   });
@@ -382,9 +641,8 @@ StepResult cg_step(PartRun& rp, const std::vector<HaloTransfer>& halo1,
   const double alpha = delta / den;
 
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const NodeBox& o = rp.own[rank];
     double sum = 0.0;
-    for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+    rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) x[i] += alpha * p[i];
       for (std::size_t i = lo; i < hi; ++i) r[i] -= alpha * w[i];
       for (std::size_t i = lo; i < hi; ++i) sum += r[i] * r[i];
@@ -397,7 +655,7 @@ StepResult cg_step(PartRun& rp, const std::vector<HaloTransfer>& halo1,
   const double beta = delta_new / delta;
 
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    for_each_run(rp.part, rp.own[rank], [&](std::size_t lo, std::size_t hi) {
+    rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         p[i] = r[i] + beta * p[i];
       }
@@ -506,6 +764,13 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
   std::vector<std::vector<std::vector<double>>> Vloc(P);
   std::vector<kd::Small> gpart(P, kd::Small(mm));
 
+  // Sparsity-derived basis plans, built once per solve (the closure
+  // and level sets depend only on the pattern and s).
+  std::vector<std::vector<GraphChunk>> gplan;
+  if (rp.gp != nullptr) {
+    gplan = make_graph_plan(A, *rp.gp, s, opt.mode, block_rows);
+  }
+
   for (std::size_t outer = 0; outer < opt.max_outer; ++outer) {
     if (delta <= stop) {
       out.converged = true;
@@ -529,12 +794,28 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
       // ghost region), writing each finished own-node column to slow
       // memory once, then accumulates its Gram partial.
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const NodeBox& o = rp.own[rank];
         auto& W = Vloc[rank];
-        if (o.empty()) {
+        if (rp.own_sz[rank] == 0) {
           W.clear();
           return;
         }
+        if (rp.gp != nullptr) {
+          // Same charge shapes as the box body below; only the basis
+          // extent and Gram ranges come from the sparsity plan.
+          const std::size_t osz = rp.own_sz[rank];
+          const GraphChunk& ck = gplan[rank][0];
+          const std::uint64_t a_words =
+              build_basis_graph(ck, bc, s, p, r, W, exec.reuse_scratch);
+          detail::charge_l2_transit(h, 2 * recv_s[rank], m.M2(), 0);
+          detail::charge_l3_read(h, 2 * osz, m.M2());
+          detail::charge_l3_write(h, 2 * osz, m.M2());  // basis heads
+          detail::charge_l3_read(h, a_words, m.M2());
+          detail::charge_l3_write(h, (2 * s - 1) * osz, m.M2());
+          graph_gram(ck, gpart[rank], mm, W);
+          detail::charge_l3_read(h, mm * osz, m.M2());  // basis re-read
+          return;
+        }
+        const NodeBox& o = rp.own[rank];
         const std::size_t osz = rp.own_sz[rank];
         const NodeBox ebox = part.extended(rank, ext);
         const std::uint64_t a_words =
@@ -564,11 +845,21 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
       // basis blocks live in fast buffers and are discarded, so this
       // pass writes nothing to slow memory.
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const NodeBox& o = rp.own[rank];
-        if (o.empty()) return;
+        if (rp.own_sz[rank] == 0) return;
         detail::charge_l2_transit(h, 2 * recv_s[rank], m.M2(), 0);
         kd::Small& gp = gpart[rank];
         auto& W = Vloc[rank];
+        if (rp.gp != nullptr) {
+          for (const GraphChunk& ck : gplan[rank]) {
+            const std::uint64_t a_words =
+                build_basis_graph(ck, bc, s, p, r, W, exec.reuse_scratch);
+            detail::charge_l3_read(h, 2 * ck.overlap, m.M2());
+            detail::charge_l3_read(h, a_words, m.M2());
+            graph_gram(ck, gp, mm, W);
+          }
+          return;
+        }
+        const NodeBox& o = rp.own[rank];
         for (const NodeBox& c : stream_chunks(part, o, block_rows)) {
           const NodeBox ebox = dilate_clipped(part, c, ext);
           const std::uint64_t a_words =
@@ -617,9 +908,16 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
     // ---- recovery: [p, r, x] = [P, R] [ph, rh, xh] + [0, 0, x].
     if (opt.mode == CaCgMode::kStored) {
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const NodeBox& o = rp.own[rank];
-        if (o.empty()) return;
+        if (rp.own_sz[rank] == 0) return;
         const std::size_t osz = rp.own_sz[rank];
+        if (rp.gp != nullptr) {
+          graph_recover(gplan[rank][0], mm, Vloc[rank], ph, rh, xh, x, p,
+                        r);
+          detail::charge_l3_read(h, mm * osz + osz, m.M2());
+          detail::charge_l3_write(h, 3 * osz, m.M2());
+          return;
+        }
+        const NodeBox& o = rp.own[rank];
         const NodeBox ebox = part.extended(rank, ext);
         const auto& W = Vloc[rank];
         for_each_run_local(
@@ -646,9 +944,21 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
       // the recovery (the <= 2x flop doubling the paper trades for
       // the Theta(s) write reduction); only x, p, r are written.
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const NodeBox& o = rp.own[rank];
-        if (o.empty()) return;
+        if (rp.own_sz[rank] == 0) return;
         auto& W = Vloc[rank];
+        if (rp.gp != nullptr) {
+          for (const GraphChunk& ck : gplan[rank]) {
+            const std::uint64_t a_words =
+                build_basis_graph(ck, bc, s, p, r, W, exec.reuse_scratch);
+            detail::charge_l3_read(h, 2 * ck.overlap, m.M2());
+            detail::charge_l3_read(h, a_words, m.M2());
+            graph_recover(ck, mm, W, ph, rh, xh, x, pn, rn);
+            detail::charge_l3_read(h, ck.tsz, m.M2());       // x
+            detail::charge_l3_write(h, 3 * ck.tsz, m.M2());  // x, p, r
+          }
+          return;
+        }
+        const NodeBox& o = rp.own[rank];
         for (const NodeBox& c : stream_chunks(part, o, block_rows)) {
           const NodeBox ebox = dilate_clipped(part, c, ext);
           const std::uint64_t a_words =
@@ -686,7 +996,7 @@ KrylovResult ca_cg(Machine& m, const Partition& part, const sparse::Csr& A,
     // disagreement with the coordinate-space value flags breakdown.
     m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
       double sum = 0.0;
-      for_each_run(part, rp.own[rank], [&](std::size_t lo, std::size_t hi) {
+      rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) sum += r[i] * r[i];
       });
       rp.partial[rank] = sum;
@@ -787,16 +1097,15 @@ BatchSetupResult residual_setup_batch(
 
   rp.exchange(halo1, nrhs);
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const NodeBox& o = rp.own[rank];
     for (std::size_t j = 0; j < nrhs; ++j) {
       const auto xj = X.subspan(j * n, n);
       const auto bj = B.subspan(j * n, n);
-      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           w[j][i] = kd::row_dot(A, i, xj.data(), 0);
         }
       });
-      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           r[j][i] = bj[i] - w[j][i];
           p[j][i] = r[j][i];
@@ -805,19 +1114,18 @@ BatchSetupResult residual_setup_batch(
     }
     detail::charge_l2_transit(h, nrhs * recv1[rank], m.M2(), 0);
     detail::charge_l3_read(
-        h, box_nnz(A, rp.part, o) + nrhs * 3 * rp.own_sz[rank], m.M2());
+        h, rp.own_nnz[rank] + nrhs * 3 * rp.own_sz[rank], m.M2());
     detail::charge_l3_write(h, nrhs * 2 * rp.own_sz[rank], m.M2());
   });
 
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
     for (std::size_t j = 0; j < nrhs; ++j) {
       double sum = 0.0;
-      for_each_run(rp.part, rp.own[rank],
-                   [&](std::size_t lo, std::size_t hi) {
-                     for (std::size_t i = lo; i < hi; ++i) {
-                       sum += r[j][i] * r[j][i];
-                     }
-                   });
+      rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          sum += r[j][i] * r[j][i];
+        }
+      });
       partj[j][rank] = sum;
     }
     detail::charge_l3_read(h, nrhs * 2 * rp.own_sz[rank], m.M2());
@@ -834,7 +1142,7 @@ BatchSetupResult residual_setup_batch(
     double bb = 0.0;
     for (std::size_t q = 0; q < rp.P; ++q) {
       double sum = 0.0;
-      for_each_run(rp.part, rp.own[q], [&](std::size_t lo, std::size_t hi) {
+      rp.for_runs(q, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) sum += bj[i] * bj[i];
       });
       bb += sum;
@@ -869,23 +1177,22 @@ void cg_step_batch(PartRun& rp, const std::vector<HaloTransfer>& halo1,
 
   rp.exchange(halo1, na);  // all active p panels travel together
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const NodeBox& o = rp.own[rank];
     for (std::size_t idx = 0; idx < act.size(); ++idx) {
       const std::size_t j = act[idx];
       double sum = 0.0;
-      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           w[j][i] = kd::row_dot(A, i, p[j].data(), 0);
         }
       });
-      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) sum += p[j][i] * w[j][i];
       });
       partj[idx][rank] = sum;
     }
     detail::charge_l2_transit(h, na * recv1[rank], m.M2(), 0);
     detail::charge_l3_read(
-        h, box_nnz(A, rp.part, o) + na * 3 * rp.own_sz[rank], m.M2());
+        h, rp.own_nnz[rank] + na * 3 * rp.own_sz[rank], m.M2());
     detail::charge_l3_write(h, na * rp.own_sz[rank], m.M2());  // w
   });
   rp.allreduce_charge(na);
@@ -907,12 +1214,11 @@ void cg_step_batch(PartRun& rp, const std::vector<HaloTransfer>& halo1,
   const std::uint64_t nl = live.size();
 
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-    const NodeBox& o = rp.own[rank];
     for (const std::size_t idx : live) {
       const std::size_t j = act[idx];
       const auto xj = X.subspan(j * n, n);
       double sum = 0.0;
-      for_each_run(rp.part, o, [&](std::size_t lo, std::size_t hi) {
+      rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) xj[i] += alpha[idx] * p[j][i];
         for (std::size_t i = lo; i < hi; ++i) r[j][i] -= alpha[idx] * w[j][i];
         for (std::size_t i = lo; i < hi; ++i) sum += r[j][i] * r[j][i];
@@ -935,12 +1241,11 @@ void cg_step_batch(PartRun& rp, const std::vector<HaloTransfer>& halo1,
   m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
     for (const std::size_t idx : live) {
       const std::size_t j = act[idx];
-      for_each_run(rp.part, rp.own[rank],
-                   [&](std::size_t lo, std::size_t hi) {
-                     for (std::size_t i = lo; i < hi; ++i) {
-                       p[j][i] = r[j][i] + beta[idx] * p[j][i];
-                     }
-                   });
+      rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          p[j][i] = r[j][i] + beta[idx] * p[j][i];
+        }
+      });
     }
     detail::charge_l3_read(h, nl * 2 * rp.own_sz[rank], m.M2());
     detail::charge_l3_write(h, nl * rp.own_sz[rank], m.M2());  // p
@@ -1062,6 +1367,13 @@ KrylovBatchResult ca_cg_batch(Machine& m, const Partition& part,
   std::vector<std::vector<double>> partj(nrhs,
                                          std::vector<double>(P, 0.0));
 
+  // Sparsity-derived basis plans, shared by every RHS (the closure
+  // and level sets depend only on the pattern and s).
+  std::vector<std::vector<GraphChunk>> gplan;
+  if (rp.gp != nullptr) {
+    gplan = make_graph_plan(A, *rp.gp, s, opt.mode, block_rows);
+  }
+
   for (std::size_t outer = 0; outer < opt.max_outer; ++outer) {
     std::vector<std::size_t> act;
     for (std::size_t j = 0; j < nrhs; ++j) {
@@ -1097,12 +1409,28 @@ KrylovBatchResult ca_cg_batch(Machine& m, const Partition& part,
 
     if (opt.mode == CaCgMode::kStored) {
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const NodeBox& o = rp.own[rank];
-        if (o.empty()) {
+        if (rp.own_sz[rank] == 0) {
           for (const std::size_t j : act) Vloc[rank][j].clear();
           return;
         }
         const std::size_t osz = rp.own_sz[rank];
+        if (rp.gp != nullptr) {
+          const GraphChunk& ck = gplan[rank][0];
+          std::uint64_t a_words = 0;
+          for (const std::size_t j : act) {
+            a_words = build_basis_graph(ck, bc, s, p[j], r[j],
+                                        Vloc[rank][j], exec.reuse_scratch);
+            graph_gram(ck, gpart[rank][j], mm, Vloc[rank][j]);
+          }
+          detail::charge_l2_transit(h, 2 * na * recv_s[rank], m.M2(), 0);
+          detail::charge_l3_read(h, na * 2 * osz, m.M2());
+          detail::charge_l3_write(h, na * 2 * osz, m.M2());  // basis heads
+          detail::charge_l3_read(h, a_words, m.M2());        // A, shared
+          detail::charge_l3_write(h, na * (2 * s - 1) * osz, m.M2());
+          detail::charge_l3_read(h, na * mm * osz, m.M2());  // Gram re-read
+          return;
+        }
+        const NodeBox& o = rp.own[rank];
         const NodeBox ebox = part.extended(rank, ext);
         std::uint64_t a_words = 0;
         for (const std::size_t j : act) {
@@ -1130,10 +1458,23 @@ KrylovBatchResult ca_cg_batch(Machine& m, const Partition& part,
       });
     } else {
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const NodeBox& o = rp.own[rank];
-        if (o.empty()) return;
+        if (rp.own_sz[rank] == 0) return;
         detail::charge_l2_transit(h, 2 * na * recv_s[rank], m.M2(), 0);
         auto& W = Wloc[rank];
+        if (rp.gp != nullptr) {
+          for (const GraphChunk& ck : gplan[rank]) {
+            std::uint64_t a_words = 0;
+            for (const std::size_t j : act) {
+              a_words = build_basis_graph(ck, bc, s, p[j], r[j], W,
+                                          exec.reuse_scratch);
+              graph_gram(ck, gpart[rank][j], mm, W);
+            }
+            detail::charge_l3_read(h, na * 2 * ck.overlap, m.M2());
+            detail::charge_l3_read(h, a_words, m.M2());  // A, shared
+          }
+          return;
+        }
+        const NodeBox& o = rp.own[rank];
         for (const NodeBox& c : stream_chunks(part, o, block_rows)) {
           const NodeBox ebox = dilate_clipped(part, c, ext);
           std::uint64_t a_words = 0;
@@ -1191,9 +1532,20 @@ KrylovBatchResult ca_cg_batch(Machine& m, const Partition& part,
 
     if (opt.mode == CaCgMode::kStored) {
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const NodeBox& o = rp.own[rank];
-        if (o.empty()) return;
+        if (rp.own_sz[rank] == 0) return;
         const std::size_t osz = rp.own_sz[rank];
+        if (rp.gp != nullptr) {
+          const GraphChunk& ck = gplan[rank][0];
+          for (const std::size_t j : act2) {
+            const auto xj = X.subspan(j * n, n);
+            graph_recover(ck, mm, Vloc[rank][j], ph[j], rh[j], xh[j], xj,
+                          p[j], r[j]);
+          }
+          detail::charge_l3_read(h, na2 * (mm * osz + osz), m.M2());
+          detail::charge_l3_write(h, na2 * 3 * osz, m.M2());
+          return;
+        }
+        const NodeBox& o = rp.own[rank];
         const NodeBox ebox = part.extended(rank, ext);
         for (const std::size_t j : act2) {
           const auto xj = X.subspan(j * n, n);
@@ -1224,9 +1576,26 @@ KrylovBatchResult ca_cg_batch(Machine& m, const Partition& part,
         rn[j].resize(n);
       }
       m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
-        const NodeBox& o = rp.own[rank];
-        if (o.empty()) return;
+        if (rp.own_sz[rank] == 0) return;
         auto& W = Wloc[rank];
+        if (rp.gp != nullptr) {
+          for (const GraphChunk& ck : gplan[rank]) {
+            std::uint64_t a_words = 0;
+            for (const std::size_t j : act2) {
+              a_words = build_basis_graph(ck, bc, s, p[j], r[j], W,
+                                          exec.reuse_scratch);
+              const auto xj = X.subspan(j * n, n);
+              graph_recover(ck, mm, W, ph[j], rh[j], xh[j], xj, pn[j],
+                            rn[j]);
+            }
+            detail::charge_l3_read(h, na2 * 2 * ck.overlap, m.M2());
+            detail::charge_l3_read(h, a_words, m.M2());  // A, shared
+            detail::charge_l3_read(h, na2 * ck.tsz, m.M2());       // x
+            detail::charge_l3_write(h, na2 * 3 * ck.tsz, m.M2());  // x, p, r
+          }
+          return;
+        }
+        const NodeBox& o = rp.own[rank];
         for (const NodeBox& c : stream_chunks(part, o, block_rows)) {
           const NodeBox ebox = dilate_clipped(part, c, ext);
           std::uint64_t a_words = 0;
@@ -1267,7 +1636,7 @@ KrylovBatchResult ca_cg_batch(Machine& m, const Partition& part,
     m.run_local_each([&](std::size_t rank, memsim::Hierarchy& h) {
       for (const std::size_t j : act2) {
         double sum = 0.0;
-        for_each_run(part, rp.own[rank], [&](std::size_t lo, std::size_t hi) {
+        rp.for_runs(rank, [&](std::size_t lo, std::size_t hi) {
           for (std::size_t i = lo; i < hi; ++i) sum += r[j][i] * r[j][i];
         });
         partj[j][rank] = sum;

@@ -3,20 +3,26 @@
 //
 // The matrix and all n-vectors are partitioned over the ProcessGrid's
 // ranks by a Partition (dist/partition.hpp): the balanced 1-D row
-// split, or the 2-D block partition of grid-structured matrices
-// (tiles over the nx x ny mesh, layered over nz).  Every outer step
-// exchanges ghost zones of depth s * radius with the neighbouring
-// ranks -- charged as point-to-point sends on the Machine -- after
-// which each rank can compute all 2s+1 basis columns of its own nodes
-// locally (the matrix-powers optimization: redundant flops in the
-// ghost region instead of s round-trips).  On the 1-D partition the
-// radius is the matrix bandwidth (rows are the only geometry); on the
-// 2-D partition it is the stencil radius the sparse::Csr generators
-// record, so the exchange ships faces + corners of Theta(s*sqrt(n/P))
-// words instead of the bandwidth-derived Theta(s*nx) row zones that
-// degenerate into an all-to-all on 2-D/3-D stencils.  Dot products
-// and the Gram matrix G = [P,R]^T [P,R] are per-rank partial sums
-// combined by a binomial-tree allreduce (Machine::reduce + bcast).
+// split, the 2-D block partition of grid-structured matrices (tiles
+// over the nx x ny mesh, layered over nz), or the GraphPartition of
+// general CSR matrices with no mesh geometry (BFS-grown owned index
+// sets with exact s-hop dependency closures from the sparsity
+// pattern).  Every outer step exchanges ghost zones of depth
+// s * radius with the neighbouring ranks -- charged as point-to-point
+// sends on the Machine -- after which each rank can compute all 2s+1
+// basis columns of its own nodes locally (the matrix-powers
+// optimization: redundant flops in the ghost region instead of s
+// round-trips).  On the 1-D partition the radius is the matrix
+// bandwidth (rows are the only geometry); on the 2-D partition it is
+// the stencil radius the sparse::Csr generators record, so the
+// exchange ships faces + corners of Theta(s*sqrt(n/P)) words instead
+// of the bandwidth-derived Theta(s*nx) row zones that degenerate into
+// an all-to-all on 2-D/3-D stencils; on the graph partition each
+// level is one adjacency hop, so the exchange ships exactly the
+// counted s-hop closure minus the owned set -- no geometry and no
+// bandwidth assumption at all.  Dot products and the Gram matrix
+// G = [P,R]^T [P,R] are per-rank partial sums combined by a
+// binomial-tree allreduce (Machine::reduce + bcast).
 //
 // The local basis/recovery phases -- real numerics plus charging --
 // run under the execution Backend seam (Machine::run_local_each), so

@@ -1,0 +1,113 @@
+#include "dist/partition.hpp"
+
+namespace wa::dist {
+
+GraphPartition::GraphPartition(ProcessGrid g, const sparse::Csr& A)
+    : Partition(std::move(g)), n_(A.n), rp_(A.row_ptr), ci_(A.col_idx) {
+  const std::size_t P = ranks();
+  // Deterministic BFS visit order over the adjacency: neighbours in
+  // stored (row) order, FIFO frontier, restart at the lowest
+  // unvisited vertex so disconnected components concatenate.
+  std::vector<std::size_t> order;
+  order.reserve(n_);
+  std::vector<char> vis(n_, 0);
+  std::size_t scan = 0;
+  while (order.size() < n_) {
+    while (vis[scan]) ++scan;
+    vis[scan] = 1;
+    const std::size_t head0 = order.size();
+    order.push_back(scan);
+    for (std::size_t head = head0; head < order.size(); ++head) {
+      const std::size_t i = order[head];
+      for (std::size_t q = rp_[i]; q < rp_[i + 1]; ++q) {
+        const std::size_t j = ci_[q];
+        if (!vis[j]) {
+          vis[j] = 1;
+          order.push_back(j);
+        }
+      }
+    }
+  }
+  // Greedy BFS growth: part p owns the p-th balanced contiguous slice
+  // of the visit order, so each part is a grown BFS frontier wherever
+  // the graph is connected and part sizes match the box partitions'
+  // balanced split exactly (n < P leaves the trailing parts empty).
+  owner_.assign(n_, 0);
+  owned_.resize(P);
+  runs_.resize(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    const BlockRange b = balanced_block(n_, P, p);
+    auto& own = owned_[p];
+    own.assign(order.begin() + b.off, order.begin() + b.off + b.sz);
+    std::sort(own.begin(), own.end());
+    auto& rn = runs_[p];
+    for (std::size_t k = 0; k < own.size();) {
+      owner_[own[k]] = p;
+      std::size_t e = k + 1;
+      while (e < own.size() && own[e] == own[e - 1] + 1) {
+        owner_[own[e]] = p;
+        ++e;
+      }
+      rn.emplace_back(own[k], own[e - 1] + 1);
+      k = e;
+    }
+  }
+}
+
+std::vector<std::size_t> GraphPartition::closure(
+    const std::vector<std::size_t>& seed, std::size_t depth) const {
+  std::vector<char> in(n_, 0);
+  std::vector<std::size_t> out = seed;
+  std::vector<std::size_t> frontier = seed, next;
+  for (const std::size_t i : seed) in[i] = 1;
+  for (std::size_t d = 0; d < depth && !frontier.empty(); ++d) {
+    next.clear();
+    for (const std::size_t i : frontier) {
+      for (std::size_t q = rp_[i]; q < rp_[i + 1]; ++q) {
+        const std::size_t j = ci_[q];
+        if (!in[j]) {
+          in[j] = 1;
+          out.push_back(j);
+          next.push_back(j);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<HaloTransfer> GraphPartition::halo(std::size_t depth) const {
+  std::vector<HaloTransfer> out;
+  if (depth == 0) return out;
+  const std::size_t P = ranks();
+  std::vector<std::size_t> cnt(P);
+  for (std::size_t dst = 0; dst < P; ++dst) {
+    if (owned_[dst].empty()) continue;
+    std::fill(cnt.begin(), cnt.end(), 0);
+    for (const std::size_t i : closure(owned_[dst], depth)) {
+      if (owner_[i] != dst) ++cnt[owner_[i]];
+    }
+    for (std::size_t src = 0; src < P; ++src) {
+      if (cnt[src] > 0) out.push_back(HaloTransfer{src, dst, cnt[src]});
+    }
+  }
+  return out;
+}
+
+std::size_t GraphPartition::recv_words(std::size_t p,
+                                       std::size_t depth) const {
+  if (depth == 0 || owned_[p].empty()) return 0;
+  return closure(owned_[p], depth).size() - owned_[p].size();
+}
+
+std::size_t GraphPartition::max_recv_words(std::size_t depth) const {
+  std::size_t mx = 0;
+  for (std::size_t p = 0; p < ranks(); ++p) {
+    mx = std::max(mx, recv_words(p, depth));
+  }
+  return mx;
+}
+
+}  // namespace wa::dist

@@ -5,7 +5,7 @@
 // A Partition decides which mesh nodes (= matrix rows) each rank
 // owns, how wide a ghost exchange of a given depth is, and therefore
 // what every l3_read/l3_write/nw charge of the solvers is based on.
-// Two implementations:
+// Three implementations:
 //
 //  * RowPartition1D -- the balanced 1-D row split all PR 4 solvers
 //    ran on.  Its halo depth is measured in *rows*, so a solver that
@@ -21,15 +21,25 @@
 //    the exchange ships faces + corners of width s*radius per side --
 //    Theta(s * sqrt(n/P)) words instead of Theta(s * bandwidth).
 //
-// Every rank's owned node set, and its dilated ghost region, is an
-// axis-aligned NodeBox of the mesh; the 1-D partition is the nx = n,
-// ny = nz = 1 degenerate case, so the solvers speak one box-shaped
-// geometry for both partitions.
+//  * GraphPartition -- no geometry at all: the CSR adjacency is
+//    ordered by a deterministic BFS and sliced into P balanced
+//    chunks, and halos are the *exact* level-d dependency sets read
+//    off the sparsity pattern, so a depth-d exchange ships exactly
+//    the rows within d hops of the owned set (the general-graph form
+//    of the 2-D diamond halos).  Owned sets are index sets, not
+//    boxes; the solvers detect it via Partition::graph() and switch
+//    to run-list iteration and sparsity-derived matrix-powers plans.
+//
+// Every box partition's owned node set, and its dilated ghost
+// region, is an axis-aligned NodeBox of the mesh; the 1-D partition
+// is the nx = n, ny = nz = 1 degenerate case, so the solvers speak
+// one box-shaped geometry for both mesh partitions.
 
 #include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "dist/grid.hpp"
@@ -90,6 +100,8 @@ inline BlockRange basis_valid_window(std::size_t lo, std::size_t hi,
   return BlockRange{vlo, vhi - vlo};
 }
 
+class GraphPartition;
+
 /// Which mesh nodes each rank owns, and what a ghost exchange costs.
 class Partition {
  public:
@@ -133,6 +145,11 @@ class Partition {
 
   /// All ranks, the solvers' allreduce group.
   std::vector<std::size_t> group() const { return g_.linear_group(); }
+
+  /// Non-null when this partition is sparsity-driven (owned sets are
+  /// general index sets, not boxes) -- the solvers' dispatch seam
+  /// between box-geometry and run-list iteration.
+  virtual const GraphPartition* graph() const { return nullptr; }
 
  private:
   ProcessGrid g_;
@@ -208,6 +225,92 @@ class BlockPartition2D final : public Partition {
   bool cross_halo_;
 };
 
+/// Sparsity-driven partition for matrices that carry no mesh
+/// geometry (Csr::nx == 0): circuit/FEM systems, SuiteSparse-style
+/// downloads, power-law graphs.
+///
+/// Partitioning is greedy BFS growth: the adjacency is traversed
+/// breadth-first in deterministic order (neighbours in stored column
+/// order, restarting at the lowest unvisited vertex, so disconnected
+/// components concatenate), and the visit order is sliced into P
+/// balanced contiguous chunks -- wherever the graph is connected each
+/// part is a grown BFS frontier, and part sizes match the box
+/// partitions' balanced split exactly.  No external partitioner, no
+/// randomness: the same matrix always yields the same parts.
+///
+/// Halo contract: halo(depth) ships the *exact* level-depth
+/// dependency sets.  For each destination rank the closure of its
+/// owned rows under `depth` adjacency hops is computed from the
+/// sparsity pattern, and every non-owned row in it becomes one
+/// shipped word from its owner -- exactly the rows a depth-level
+/// matrix-powers basis reads, nothing else.  This generalizes the
+/// 2-D diamond halos (which are the closure of a cross stencil) to
+/// arbitrary graphs.
+class GraphPartition final : public Partition {
+ public:
+  /// Copies A's pattern: the partition outlives the matrix view it
+  /// was built from, and closure()/halo() need the adjacency.
+  GraphPartition(ProcessGrid g, const sparse::Csr& A);
+
+  /// Rows are viewed as a linear pseudo-mesh (like the 1-D split) so
+  /// nodes() covers the matrix; no box geometry is implied.
+  std::size_t nx() const override { return n_; }
+  std::size_t ny() const override { return 1; }
+  std::size_t nz() const override { return 1; }
+
+  /// One matrix-power level consumes one adjacency *hop*, whatever
+  /// the matrix bandwidth: halo depths here count hops, so the
+  /// solvers' depth = s * radius() is exactly s hops.
+  std::size_t radius() const override { return 1; }
+
+  /// Owned sets are general index sets, never boxes.  Box-geometry
+  /// callers must dispatch on graph() first; reaching this is a bug.
+  NodeBox owned(std::size_t) const override {
+    throw std::logic_error(
+        "GraphPartition: owned sets are index sets, not boxes");
+  }
+
+  std::vector<HaloTransfer> halo(std::size_t depth) const override;
+
+  const GraphPartition* graph() const override { return this; }
+
+  /// Global rows owned by rank @p p, sorted ascending.
+  const std::vector<std::size_t>& owned_rows(std::size_t p) const {
+    return owned_[p];
+  }
+
+  /// Maximal contiguous [lo, hi) runs of owned_rows(p), ascending --
+  /// what the solvers iterate (one run [0, n) at P = 1).
+  const std::vector<std::pair<std::size_t, std::size_t>>& owned_runs(
+      std::size_t p) const {
+    return runs_[p];
+  }
+
+  std::size_t owned_count(std::size_t p) const { return owned_[p].size(); }
+  std::size_t owner_of(std::size_t row) const { return owner_[row]; }
+
+  /// @p seed (sorted, duplicate-free) plus every row within @p depth
+  /// adjacency hops of it, sorted ascending -- the rows a depth-level
+  /// matrix-powers computation on seed reads.
+  std::vector<std::size_t> closure(const std::vector<std::size_t>& seed,
+                                   std::size_t depth) const;
+
+  /// Ghost words rank @p p receives in one depth-@p d exchange, per
+  /// vector: |closure(owned, depth)| - |owned|.  The counted s-hop
+  /// model the bench and planner quote.
+  std::size_t recv_words(std::size_t p, std::size_t depth) const;
+
+  /// recv_words of the busiest rank.
+  std::size_t max_recv_words(std::size_t depth) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> rp_, ci_;  // adjacency (copied pattern)
+  std::vector<std::size_t> owner_;
+  std::vector<std::vector<std::size_t>> owned_;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> runs_;
+};
+
 /// The pr x pc factorization of P whose tiles of the nx x ny mesh
 /// have the smallest half-perimeter (= smallest face halo), so long
 /// thin meshes get long thin grids instead of the square default.
@@ -262,20 +365,31 @@ inline void check_mesh_geometry(const sparse::Csr& A) {
 }
 
 enum class PartitionKind {
-  kAuto,     ///< 2-D blocks when A carries a 2-D/3-D mesh, else 1-D rows
-  kRows1D,   ///< balanced 1-D row split, bandwidth-derived halo
-  kBlocks2D  ///< 2-D tiles (layered over nz), stencil-radius halo
+  kAuto,      ///< 2-D blocks on a 2-D/3-D mesh, 1-D rows on a 1-D
+              ///< mesh, graph partition when A has no geometry
+  kRows1D,    ///< balanced 1-D row split, bandwidth-derived halo
+  kBlocks2D,  ///< 2-D tiles (layered over nz), stencil-radius halo
+  kGraph      ///< BFS-sliced adjacency partition, exact s-hop halos
 };
 
 /// Partition of @p A's rows over @p P ranks.  kRows1D reproduces the
 /// PR 4 geometry exactly (halo depth = matrix bandwidth); kBlocks2D
-/// requires mesh geometry on A and picks the aspect-fitting grid.
+/// requires mesh geometry on A and picks the aspect-fitting grid;
+/// kGraph partitions the adjacency directly and works on any matrix.
+/// kAuto prefers the mesh partitions when A declares geometry and the
+/// graph partition otherwise (the old geometry-less fallback, a 1-D
+/// split with a bandwidth halo, stays reachable via explicit kRows1D).
 inline std::unique_ptr<Partition> make_partition(
     std::size_t P, const sparse::Csr& A,
     PartitionKind kind = PartitionKind::kAuto) {
   const bool mesh2d = A.has_geometry() && A.ny * A.nz > 1;
   if (kind == PartitionKind::kAuto) {
-    kind = mesh2d ? PartitionKind::kBlocks2D : PartitionKind::kRows1D;
+    kind = mesh2d ? PartitionKind::kBlocks2D
+                  : (A.has_geometry() ? PartitionKind::kRows1D
+                                      : PartitionKind::kGraph);
+  }
+  if (kind == PartitionKind::kGraph) {
+    return std::make_unique<GraphPartition>(ProcessGrid(P), A);
   }
   if (kind == PartitionKind::kBlocks2D) {
     if (!A.has_geometry()) {

@@ -197,7 +197,13 @@ class KrylovAutotuner {
 
   /// The tuned plan for solving @p A with batches of @p b RHS on
   /// @p P ranks.  First request per fingerprint runs the model sweep
-  /// (a miss); repeats are served from the cache (hits).
+  /// (a miss); repeats are served from the cache (hits).  For a
+  /// geometry-free operator the miss also builds the GraphPartition
+  /// once and counts its exact s-hop ghost words at every candidate
+  /// depth -- the closed-form halo models assume a mesh, so the graph
+  /// candidates are scored from sparsity, not a formula.  Repeat
+  /// requests never re-partition: the counted words are folded into
+  /// the cached plan's score.
   const KrylovPlan& plan(const sparse::Csr& A, std::size_t P,
                          std::size_t b) {
     const Key key{fingerprint(A), P, std::max<std::size_t>(1, b)};
@@ -207,7 +213,14 @@ class KrylovAutotuner {
       return it->second;
     }
     ++misses_;
-    return cache_.emplace(key, tune(key)).first->second;
+    std::map<std::size_t, double> counted;
+    if (!A.has_geometry()) {
+      const GraphPartition gp(ProcessGrid(P), A);
+      for (const std::size_t depth : {1, 2, 4, 8, 16}) {
+        counted[depth] = double(gp.max_recv_words(depth));
+      }
+    }
+    return cache_.emplace(key, tune(key, counted)).first->second;
   }
 
   std::size_t hits() const { return hits_; }
@@ -223,9 +236,16 @@ class KrylovAutotuner {
   };
 
   /// Ghost words an interior rank receives from one depth-e exchange
-  /// under the partition the fingerprint implies.
+  /// under the partition the fingerprint implies.  @p counted carries
+  /// the exact per-depth GraphPartition receive counts when the
+  /// operator has no geometry (empty otherwise).
   double ghost_words(const MatrixFingerprint& fp, std::size_t P,
-                     std::size_t e) const {
+                     std::size_t e,
+                     const std::map<std::size_t, double>& counted) const {
+    if (fp.nx == 0) {
+      const auto it = counted.find(e);
+      if (it != counted.end()) return it->second;
+    }
     if (fp.nx != 0 && fp.ny * fp.nz > 1) {
       const ProcessGrid g = best_grid_2d(P, fp.nx, fp.ny);
       return fp.cross ? halo_words_2d_diamond_model(fp.nx, fp.ny, fp.nz,
@@ -242,17 +262,21 @@ class KrylovAutotuner {
   /// (the batched-solver counters pin these shapes -- see
   /// tests/krylov_batch_test.cpp).
   double step_cost(const MatrixFingerprint& fp, std::size_t P,
-                   std::size_t b, std::size_t s,
-                   krylov::CaCgMode mode) const {
+                   std::size_t b, std::size_t s, krylov::CaCgMode mode,
+                   const std::map<std::size_t, double>& counted) const {
     const double n = double(fp.n), Pd = double(P), bd = double(b);
     const double osz = n / Pd;
     const double nnz_rank = double(fp.nnz) / Pd;
     const double rounds = double(Machine::bcast_rounds(P));
-    const double r = double(std::max<std::size_t>(1, fp.radius));
+    // Effective exchange radius: graph fingerprints carry radius == 0
+    // but every level of the graph partition's s-hop dependency still
+    // advances one hop, so ghost depths scale with max(1, radius).
+    const std::size_t re = std::max<std::size_t>(1, fp.radius);
+    const double r = double(re);
     if (s == 0) {  // classical CG
       const double w = cg_model_writes_per_step(fp.n, P);
       const double reads = 2.0 * nnz_rank / bd + 11.0 * osz;
-      const double nw = 2.0 * ghost_words(fp, P, fp.radius) +
+      const double nw = 2.0 * ghost_words(fp, P, re, counted) +
                         2.0 * rounds * 2.0;
       const double msgs = (2.0 + 2.0 * 2.0 * rounds) / bd;
       return hw_.beta_23 * w + hw_.beta_32 * reads + hw_.beta_nw * nw +
@@ -270,7 +294,7 @@ class KrylovAutotuner {
         passes * ((2.0 * sd - 1.0) * 2.0 * nnz_rank +
                   2.0 * (2.0 * r + 1.0) * 2.0 * r * sd * (sd - 1.0));
     const double reads = awords / bd + (2.0 * mm + 5.0) * osz;
-    const double nw = 4.0 * ghost_words(fp, P, s * fp.radius) +
+    const double nw = 4.0 * ghost_words(fp, P, s * re, counted) +
                       2.0 * rounds * (gram + 1.0);
     const double msgs = (2.0 + 2.0 * 2.0 * rounds) / bd;
     return (hw_.beta_32 * (reads / sd) + hw_.beta_nw * (nw / sd) +
@@ -278,11 +302,15 @@ class KrylovAutotuner {
            hw_.beta_23 * w;
   }
 
-  KrylovPlan tune(const Key& key) const {
+  KrylovPlan tune(const Key& key,
+                  const std::map<std::size_t, double>& counted) const {
     const bool mesh = key.fp.nx != 0 && key.fp.ny * key.fp.nz > 1;
     KrylovPlan best;
     best.algorithm = "cg";
-    best.partition = mesh ? PartitionKind::kBlocks2D : PartitionKind::kRows1D;
+    best.partition = key.fp.nx == 0
+                         ? PartitionKind::kGraph
+                         : (mesh ? PartitionKind::kBlocks2D
+                                 : PartitionKind::kRows1D);
     best.backend = key.P >= 4 ? "threaded" : "serial";
     // Dense stages riding along with the solve (e.g. blocked Gram /
     // basis assembly through the 2.5D path) deploy with the
@@ -290,11 +318,26 @@ class KrylovAutotuner {
     best.c = choose_replication(key.fp.n, key.P, M2_, M3_, hw_);
     best.s = 0;
     best.predicted_seconds = step_cost(key.fp, key.P, key.b, 0,
-                                       krylov::CaCgMode::kStored);
+                                       krylov::CaCgMode::kStored, counted);
     for (const std::size_t s : {2, 4, 8, 16}) {
+      // On counted (geometry-free) operators, a dependency closure
+      // that stopped growing between depth s/2 and depth s has
+      // saturated: the deeper basis ships the same halo and only
+      // amortizes the allreduce, while its longer polynomial chain is
+      // exactly the fragile regime on fast-mixing spectra -- a risk
+      // the cost model does not price.  Skip such candidates.
+      if (key.fp.nx == 0) {
+        const auto deep = counted.find(s);
+        const auto half = counted.find(s / 2);
+        if (deep != counted.end() && half != counted.end() &&
+            deep->second <= half->second) {
+          continue;
+        }
+      }
       for (const auto mode :
            {krylov::CaCgMode::kStored, krylov::CaCgMode::kStreaming}) {
-        const double t = step_cost(key.fp, key.P, key.b, s, mode);
+        const double t =
+            step_cost(key.fp, key.P, key.b, s, mode, counted);
         if (t < best.predicted_seconds) {
           best.algorithm = "ca-cg";
           best.s = s;

@@ -1,5 +1,6 @@
 #include "sparse/csr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -155,6 +156,106 @@ Csr poisson_3d(std::size_t nx, std::size_t ny, std::size_t nz) {
     }
   }
   return a;
+}
+
+namespace {
+
+/// splitmix64 finalizer: the geometry-free generators must produce
+/// byte-identical matrices on every platform/compiler (the bench
+/// baselines are checked in), so no <random> distributions.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Symmetric off-diagonal value for the unordered pair {i, j} in
+/// [-1, -0.5]: derived from the pair, so both triangles agree.
+double pair_value(std::uint64_t seed, std::size_t i, std::size_t j) {
+  const std::uint64_t lo = std::min(i, j), hi = std::max(i, j);
+  const std::uint64_t h = mix64(seed ^ (lo * 0x100000001b3ULL + hi));
+  return -(0.5 + 0.5 * double(h % 1024) / 1023.0);
+}
+
+/// Assemble a symmetric diagonally-dominant SPD CSR from per-row
+/// neighbour lists (deduplicated, diagonal inserted, sorted columns,
+/// diag = sum |offdiag| + 1).  Leaves nx == 0: no mesh geometry.
+Csr assemble_spd(std::size_t n, std::vector<std::vector<std::size_t>> adj,
+                 std::uint64_t seed) {
+  Csr a;
+  a.n = n;
+  a.row_ptr.reserve(n + 1);
+  a.row_ptr.push_back(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& row = adj[i];
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    double offsum = 0.0;
+    for (const std::size_t j : row) {
+      if (j != i) offsum += -pair_value(seed, i, j);
+    }
+    bool diag_done = false;
+    const auto push_diag = [&] {
+      a.col_idx.push_back(i);
+      a.values.push_back(offsum + 1.0);
+      diag_done = true;
+    };
+    for (const std::size_t j : row) {
+      if (j == i) continue;
+      if (j > i && !diag_done) push_diag();
+      a.col_idx.push_back(j);
+      a.values.push_back(pair_value(seed, i, j));
+    }
+    if (!diag_done) push_diag();
+    a.row_ptr.push_back(a.col_idx.size());
+  }
+  return a;
+}
+
+}  // namespace
+
+Csr random_spd_graph(std::size_t n, std::size_t avg_deg,
+                     std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("random_spd_graph: n >= 1");
+  std::vector<std::vector<std::size_t>> adj(n);
+  // ~avg_deg/2 proposals per vertex, symmetrized; duplicates and
+  // self-loops dropped in assembly, so the realized degree is close
+  // to (a touch under) avg_deg.
+  const std::size_t half = std::max<std::size_t>(1, avg_deg / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const std::size_t j =
+          std::size_t(mix64(seed ^ (i * 0x9e3779b9ULL + k)) % n);
+      if (j == i) continue;
+      adj[i].push_back(j);
+      adj[j].push_back(i);
+    }
+  }
+  return assemble_spd(n, std::move(adj), seed);
+}
+
+Csr small_world_graph(std::size_t n, std::size_t k, std::size_t chords,
+                      std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("small_world_graph: n >= 3");
+  std::vector<std::vector<std::size_t>> adj(n);
+  // Ring lattice with wraparound: i couples to i +- 1..k mod n, so
+  // entries (0, n-1) etc. give the matrix 1-D bandwidth n - 1.
+  const std::size_t kk = std::min(k, (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= kk; ++d) {
+      adj[i].push_back((i + d) % n);
+      adj[i].push_back((i + n - d) % n);
+    }
+  }
+  for (std::size_t c = 0; c < chords; ++c) {
+    const std::size_t u = std::size_t(mix64(seed ^ (2 * c)) % n);
+    const std::size_t v = std::size_t(mix64(seed ^ (2 * c + 1)) % n);
+    if (u == v) continue;
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  return assemble_spd(n, std::move(adj), seed);
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {

@@ -8,6 +8,7 @@
 // generators here produce exactly those matrices.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -64,6 +65,23 @@ Csr stencil_2d_cross(std::size_t nx, std::size_t ny, unsigned b = 1);
 
 /// 7-point 3-D Poisson stencil on an nx*ny*nz mesh (a cross stencil).
 Csr poisson_3d(std::size_t nx, std::size_t ny, std::size_t nz);
+
+/// Random symmetric diagonally-dominant SPD matrix with ~avg_deg
+/// off-diagonal entries per row and *no* mesh geometry (nx == 0, so
+/// make_partition(kAuto) routes to GraphPartition).  Deterministic
+/// for a given (n, avg_deg, seed) on every platform: the entry
+/// pattern and values come from an internal splitmix64 mix, not
+/// <random>'s implementation-defined distributions.
+Csr random_spd_graph(std::size_t n, std::size_t avg_deg,
+                     std::uint64_t seed = 1);
+
+/// Watts-Strogatz-style small-world SPD matrix, no mesh geometry: a
+/// ring lattice coupling i to i +- 1..k *with wraparound* (so the
+/// 1-D bandwidth is n - 1 and a bandwidth-derived halo degenerates
+/// to all-to-all) plus `chords` deterministic random long-range
+/// edges.  Symmetric, diagonally dominant.
+Csr small_world_graph(std::size_t n, std::size_t k, std::size_t chords,
+                      std::uint64_t seed = 1);
 
 /// Dense vector helpers used throughout the Krylov module.
 double dot(std::span<const double> x, std::span<const double> y);

@@ -342,10 +342,15 @@ TEST(PartitionFactory, AutoPicksGeometryAwarePartition) {
   const auto A3 = sparse::poisson_3d(4, 4, 4);
   const auto p3 = make_partition(4, A3);
   EXPECT_EQ(p3->nz(), 4u);
-  // A matrix without mesh geometry cannot be 2-D partitioned.
+  // A matrix without mesh geometry cannot be 2-D partitioned; kAuto
+  // routes it to the graph partition, and the old bandwidth-halo 1-D
+  // fallback stays reachable via explicit kRows1D.
   sparse::Csr bare = A1;
   bare.nx = bare.ny = bare.nz = bare.radius = 0;
   EXPECT_EQ(make_partition(4, bare)->ny(), 1u);
+  EXPECT_NE(make_partition(4, bare)->graph(), nullptr);
+  EXPECT_EQ(make_partition(4, bare, PartitionKind::kRows1D)->graph(),
+            nullptr);
   EXPECT_THROW(make_partition(4, bare, PartitionKind::kBlocks2D),
                std::invalid_argument);
   // Inconsistent self-declared geometry is refused up front instead

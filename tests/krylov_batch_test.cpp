@@ -430,6 +430,14 @@ TEST(KrylovAutotuner, PlanMatchesOperatorGeometry) {
   EXPECT_EQ(tuner.plan(A2, 4, 8).partition, dist::PartitionKind::kBlocks2D);
   EXPECT_EQ(tuner.plan(A1, 4, 8).backend, "threaded");
   EXPECT_EQ(tuner.plan(A1, 2, 8).backend, "serial");
+  // Geometry-free operators plan onto the graph partition, scored
+  // from the counted s-hop ghost words (the miss builds the
+  // partition once; repeats hit the cache without re-partitioning).
+  const auto A3 = sparse::random_spd_graph(1 << 10, 6, 3);
+  EXPECT_EQ(tuner.plan(A3, 4, 8).partition, dist::PartitionKind::kGraph);
+  const std::size_t misses = tuner.misses();
+  tuner.plan(A3, 4, 8);
+  EXPECT_EQ(tuner.misses(), misses);
 }
 
 TEST(KrylovAutotuner, SlowNvmPrefersWriteAvoidingCaCg) {
