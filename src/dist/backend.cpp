@@ -1,58 +1,115 @@
 #include "dist/backend.hpp"
 
-#include <exception>
-#include <utility>
-
 #include "dist/grid.hpp"
 
 namespace wa::dist {
+namespace {
+
+/// Set for the lifetime of every pool worker: a nested run() issued
+/// from inside a local phase must execute inline (serially) instead of
+/// enqueueing on the pool it is already running on, which would
+/// deadlock the done-barrier.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadedBackend::~ThreadedBackend() {
+  {
+    const MutexLock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& th : pool_) th.join();
+}
+
+void ThreadedBackend::start_pool() {
+  pool_.reserve(threads_);
+  for (std::size_t t = 0; t < threads_; ++t) {
+    pool_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+void ThreadedBackend::worker_loop(std::size_t t) {
+  t_in_pool_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job job;
+    {
+      const MutexLock lock(mu_);
+      work_cv_.wait(mu_, [this, &seen] {
+        mu_.assert_held();
+        return stop_ || epoch_ != seen;
+      });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+
+    // Each participating worker owns a contiguous slice of ranks and
+    // charges into its own shard; no job state is shared until the
+    // merge in run(), so local phases may freely run numerics on
+    // disjoint matrix blocks.  Workers beyond job.workers (more pool
+    // threads than ranks) skip straight to the check-in.
+    if (t < job.workers) {
+      Shard& shard = (*job.shards)[t];
+      try {
+        const BlockRange slice =
+            balanced_block(job.ranks->size(), job.workers, t);
+        shard.done.reserve(slice.sz);
+        for (std::size_t idx = slice.off; idx < slice.off + slice.sz; ++idx) {
+          memsim::Hierarchy h(*job.capacities);
+          (*job.fn)((*job.ranks)[idx], h);
+          shard.done.emplace_back((*job.ranks)[idx], std::move(h));
+        }
+      } catch (...) {
+        shard.error = std::current_exception();
+      }
+    }
+
+    bool last = false;
+    {
+      const MutexLock lock(mu_);
+      last = --unfinished_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
 
 void ThreadedBackend::run(const std::vector<std::size_t>& ranks,
                           const std::vector<std::size_t>& capacities,
                           const LocalFn& fn, const Sink& sink) {
   const std::size_t T = std::min(threads_, ranks.size());
-  if (T <= 1) {
+  if (T <= 1 || t_in_pool_worker) {
     run_serially(ranks, capacities, fn, sink);
     return;
   }
 
-  // Each worker owns a contiguous slice of ranks and charges into its
-  // own shard; no state is shared until the merge below, so local
-  // phases may freely run numerics on disjoint matrix blocks.
-  struct Shard {
-    std::vector<std::pair<std::size_t, memsim::Hierarchy>> done;
-    std::exception_ptr error;
-  };
   std::vector<Shard> shards(T);
-  std::vector<std::thread> pool;
-  pool.reserve(T);
-  for (std::size_t t = 0; t < T; ++t) {
-    pool.emplace_back([&, t] {
-      Shard& shard = shards[t];
-      try {
-        const BlockRange slice = balanced_block(ranks.size(), T, t);
-        shard.done.reserve(slice.sz);
-        for (std::size_t idx = slice.off; idx < slice.off + slice.sz; ++idx) {
-          memsim::Hierarchy h(capacities);
-          fn(ranks[idx], h);
-          shard.done.emplace_back(ranks[idx], std::move(h));
-        }
-      } catch (...) {
-        shard.error = std::current_exception();
-      }
+  {
+    const MutexLock lock(mu_);
+    if (pool_.empty()) start_pool();
+    job_ = Job{&ranks, &capacities, &fn, &shards, T};
+    unfinished_ = pool_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    const MutexLock lock(mu_);
+    done_cv_.wait(mu_, [this] {
+      mu_.assert_held();
+      return unfinished_ == 0;
     });
   }
-  for (auto& th : pool) th.join();
 
-  // Merge shards in thread order (= rank order): every rank's
+  // Merge shards in worker order (= rank order): every rank's
   // hierarchy lands in its own counter slot, so the result is
   // byte-identical to a serial run regardless of scheduling.  On
   // error, merging up to the first failed shard and rethrowing there
-  // reproduces serial semantics exactly: every thread before the
+  // reproduces serial semantics exactly: every worker before the
   // first error completed its whole (lower-ranked) slice, so the
   // merged prefix is precisely the ranks a serial run would have
-  // charged before throwing; later threads' work is discarded just
-  // as a serial run would never have reached it.
+  // charged before throwing; later workers' results are discarded just
+  // as a serial run would never have reached them.
   for (const Shard& shard : shards) {
     for (const auto& [rank, h] : shard.done) sink(rank, h);
     if (shard.error) std::rethrow_exception(shard.error);

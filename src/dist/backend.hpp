@@ -10,26 +10,32 @@
 //                     (replicated symmetric phases are simulated once
 //                     and their counters copied).
 //   ThreadedBackend   runs the per-rank local phases -- numerics and
-//                     charging -- on a std::thread pool.  Each worker
-//                     charges fresh per-rank hierarchies into a
+//                     charging -- on a persistent std::thread pool
+//                     (workers park on a condvar between jobs).  Each
+//                     worker charges fresh per-rank hierarchies into a
 //                     per-thread shard; shards are merged on the
-//                     calling thread after the pool joins, so channel
-//                     counters are byte-identical to the serial
-//                     backend while the numerics get real wall-clock
-//                     parallelism.
+//                     calling thread after the job's done-barrier, so
+//                     channel counters are byte-identical to the
+//                     serial backend while the numerics get real
+//                     wall-clock parallelism.
 //
 // A local phase receives (rank, Hierarchy&): the hierarchy enforces
 // L1/L2 capacities exactly as before; the finished hierarchy is
 // delivered to a sink that absorbs it into the rank's counters.
 
+#include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "dist/annotations.hpp"
 #include "linalg/local_kernels.hpp"
 #include "memsim/hierarchy.hpp"
 
@@ -93,12 +99,28 @@ class SerialSimBackend final : public Backend {
   }
 };
 
-/// std::thread pool backend (see file comment).
+/// Persistent-pool threaded backend (see file comment).  Worker
+/// threads are spawned once, on the first parallel run, and parked on
+/// a condition variable between jobs -- LU's many small per-step
+/// phases no longer pay a thread spawn+join per phase.  Each job
+/// statically slices the rank list exactly like the original
+/// fork-join implementation (balanced_block over min(threads, ranks)
+/// workers), each worker charges into its own shard, and shards merge
+/// on the calling thread in rank order, so the counters stay
+/// byte-identical to SerialSimBackend regardless of scheduling.  The
+/// pool's job state is mutex-guarded with compile-time-checked lock
+/// discipline (dist/annotations.hpp); a run() issued from inside a
+/// worker (a nested local phase) executes serially inline instead of
+/// deadlocking the pool.
 class ThreadedBackend final : public Backend {
  public:
   /// @param threads  pool size; 0 means hardware_concurrency.
   explicit ThreadedBackend(std::size_t threads = 0)
       : threads_(threads != 0 ? threads : default_threads()) {}
+  ~ThreadedBackend() override;
+
+  ThreadedBackend(const ThreadedBackend&) = delete;
+  ThreadedBackend& operator=(const ThreadedBackend&) = delete;
 
   const char* name() const override { return "threaded"; }
   std::size_t threads() const { return threads_; }
@@ -113,6 +135,38 @@ class ThreadedBackend final : public Backend {
   }
 
  private:
+  /// One worker's completed (rank, hierarchy) results plus its first
+  /// error; written by exactly one worker, read by the caller after
+  /// the job's done-barrier.
+  struct Shard {
+    std::vector<std::pair<std::size_t, memsim::Hierarchy>> done;
+    std::exception_ptr error;
+  };
+
+  /// The job the pool is currently executing.  Pointees live on the
+  /// caller's stack; run() does not return until every worker has
+  /// checked in, so they outlive all worker access.
+  struct Job {
+    const std::vector<std::size_t>* ranks = nullptr;
+    const std::vector<std::size_t>* capacities = nullptr;
+    const LocalFn* fn = nullptr;
+    std::vector<Shard>* shards = nullptr;
+    std::size_t workers = 0;  ///< shards in use; workers beyond skip
+  };
+
+  void worker_loop(std::size_t t);
+  void start_pool() WA_REQUIRES(mu_);
+
+  Mutex mu_;
+  std::condition_variable_any work_cv_;  ///< caller -> workers: new job
+  std::condition_variable_any done_cv_;  ///< workers -> caller: all done
+  Job job_ WA_GUARDED_BY(mu_);
+  std::uint64_t epoch_ WA_GUARDED_BY(mu_) = 0;
+  std::size_t unfinished_ WA_GUARDED_BY(mu_) = 0;
+  bool stop_ WA_GUARDED_BY(mu_) = false;
+  // Only the owning thread mutates pool_ (lazy start, destructor
+  // join); workers never touch it.
+  std::vector<std::thread> pool_;
   std::size_t threads_;
 };
 

@@ -10,37 +10,43 @@ namespace wa::dist {
 namespace {
 
 /// FNV-1a over the payload's byte representation: the end-to-end
-/// integrity check every delivery must pass.
+/// integrity check every delivery must pass.  Each double's bytes are
+/// fetched with memcpy (alias-safe, no reinterpret_cast) in memory
+/// order, so the digest is unchanged from the byte-pointer original.
 std::uint64_t fnv1a(const double* data, std::size_t words) {
-  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
   std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < words * sizeof(double); ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ull;
+  for (std::size_t i = 0; i < words; ++i) {
+    unsigned char bytes[sizeof(double)];
+    std::memcpy(bytes, &data[i], sizeof(double));
+    for (const unsigned char b : bytes) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
   }
   return h;
 }
 
-/// Accumulates elapsed wall-clock into a TransportStats field.
-class OpTimer {
+}  // namespace
+
+/// Accumulates elapsed wall-clock into stats_.seconds on destruction.
+class ShmTransport::OpTimer {
  public:
-  explicit OpTimer(std::mutex& mu, TransportStats& stats)
-      : mu_(mu), stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  explicit OpTimer(ShmTransport& tp)
+      : tp_(tp), start_(std::chrono::steady_clock::now()) {}
   ~OpTimer() {
     const double dt = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start_)
                           .count();
-    const std::lock_guard<std::mutex> lock(mu_);
-    stats_.seconds += dt;
+    const MutexLock lock(tp_.stats_mu_);
+    tp_.stats_.seconds += dt;
   }
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
 
  private:
-  std::mutex& mu_;
-  TransportStats& stats_;
+  ShmTransport& tp_;
   std::chrono::steady_clock::time_point start_;
 };
-
-}  // namespace
 
 void ShmTransport::attach(std::size_t P) {
   P_ = P;
@@ -85,7 +91,7 @@ const double* ShmTransport::stage(std::size_t src, std::size_t words,
 void ShmTransport::push(std::size_t dst, Msg msg) {
   Mailbox& box = *boxes_[dst];
   {
-    const std::lock_guard<std::mutex> lock(box.mu);
+    const MutexLock lock(box.mu);
     box.q.push_back(std::move(msg));
   }
   box.cv.notify_one();
@@ -93,9 +99,14 @@ void ShmTransport::push(std::size_t dst, Msg msg) {
 
 ShmTransport::Msg ShmTransport::pop(std::size_t dst) {
   Mailbox& box = *boxes_[dst];
-  std::unique_lock<std::mutex> lock(box.mu);
-  if (!box.cv.wait_for(lock, std::chrono::seconds(30),
-                       [&] { return !box.q.empty(); })) {
+  const MutexLock lock(box.mu);
+  // condition_variable_any waits on the annotated Mutex itself; the
+  // predicate always runs with the lock re-acquired (assert_held tells
+  // the static analysis so).
+  if (!box.cv.wait_for(box.mu, std::chrono::seconds(30), [&box] {
+        box.mu.assert_held();
+        return !box.q.empty();
+      })) {
     throw std::runtime_error(
         "ShmTransport: mailbox wait timed out (a charged transfer was "
         "never delivered)");
@@ -130,7 +141,7 @@ void ShmTransport::hop(std::size_t src, std::size_t dst, std::size_t words,
         "ShmTransport: delivery checksum mismatch (transport corrupted "
         "a transfer the model charged)");
   }
-  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const MutexLock lock(stats_mu_);
   stats_.messages += 1;
   stats_.words += words;
   stats_.verified += words;
@@ -163,7 +174,7 @@ void ShmTransport::run_round(
           corrupted.store(true);
           return;
         }
-        const std::lock_guard<std::mutex> lock(stats_mu_);
+        const MutexLock lock(stats_mu_);
         stats_.messages += 1;
         stats_.words += words;
         stats_.verified += words;
@@ -191,7 +202,7 @@ void ShmTransport::send(std::size_t src, std::size_t dst, std::size_t words,
   if (words == 0 || src == dst) return;
   check_rank(src);
   check_rank(dst);
-  const OpTimer t(stats_mu_, stats_);
+  const OpTimer t(*this);
   stage(src, words, payload);
   hop(src, dst, words, /*combine=*/false);
 }
@@ -201,7 +212,7 @@ void ShmTransport::bcast(const std::vector<std::size_t>& group,
   const std::size_t g = group.size();
   if (g < 2 || words == 0) return;
   for (std::size_t p : group) check_rank(p);
-  const OpTimer t(stats_mu_, stats_);
+  const OpTimer t(*this);
   stage(group.front(), words, payload);
   // Grow destination arenas before any round runs concurrently.
   for (std::size_t p : group) {
@@ -223,7 +234,7 @@ void ShmTransport::reduce(const std::vector<std::size_t>& group,
   const std::size_t g = group.size();
   if (g < 2 || words == 0) return;
   for (std::size_t p : group) check_rank(p);
-  const OpTimer t(stats_mu_, stats_);
+  const OpTimer t(*this);
   // Every participant contributes a partial; the representative
   // payload (or the synthetic pattern) seeds each arena, and every
   // hop performs the real elementwise combine the Machine charges as
@@ -239,7 +250,7 @@ void ShmTransport::reduce(const std::vector<std::size_t>& group,
 }
 
 TransportStats ShmTransport::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const MutexLock lock(stats_mu_);
   return stats_;
 }
 

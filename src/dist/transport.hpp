@@ -41,10 +41,11 @@
 #include <cstdlib>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "dist/annotations.hpp"
 
 namespace wa::dist {
 
@@ -142,11 +143,19 @@ class ShmTransport final : public Transport {
     std::uint64_t checksum = 0;
   };
 
-  /// One rank's inbox: a mutex+condvar message queue.
+  /// RAII accumulator of wall-clock into stats_.seconds (nested so it
+  /// can lock stats_mu_ through the annotated members).
+  class OpTimer;
+
+  /// One rank's inbox: a mutex+condvar message queue.  The queue is
+  /// the only mailbox state touched from both sides of a hop, and the
+  /// lock discipline is compile-time-checked on the Clang legs
+  /// (-Wthread-safety; see dist/annotations.hpp).  condition_variable_any
+  /// waits on the annotated Mutex directly (it is BasicLockable).
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Msg> q;
+    Mutex mu;
+    std::condition_variable_any cv;
+    std::deque<Msg> q WA_GUARDED_BY(mu);
   };
 
   // Stage @p words from @p payload (or the synthetic pattern) into
@@ -166,10 +175,15 @@ class ShmTransport final : public Transport {
 
   std::size_t parallel_words_;
   std::size_t P_ = 0;
+  // Arenas are deliberately unguarded: operations are issued by the
+  // orchestration thread, and within one concurrent binomial round
+  // every hop touches disjoint src/dst arenas (the TSan leg checks
+  // this dynamically; a mutex here would serialize the very
+  // concurrency the large rounds exist to measure).
   std::vector<std::vector<double>> arenas_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
-  mutable std::mutex stats_mu_;
-  TransportStats stats_;
+  mutable Mutex stats_mu_;
+  TransportStats stats_ WA_GUARDED_BY(stats_mu_);
 };
 
 /// True when this binary was built with the MPI transport TU enabled
