@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
+#include <vector>
 
 #include "dist/backend.hpp"
 #include "dist/grid.hpp"
@@ -433,6 +436,76 @@ TEST(Backends, ThreadedEnforcesCapacitiesAndPropagatesErrors) {
         h.load(0, 193);  // over L1 capacity, on every rank
       }),
       memsim::CapacityError);
+}
+
+// ---- Persistent-pool regressions ---------------------------------------
+// The pool is spawned once and parked between jobs; these pin the three
+// behaviours that a fork-join implementation got for free.
+
+TEST(Backends, PersistentPoolServesManyJobsInRankOrder) {
+  // Varying widths exercise park/wake and the workers-beyond-the-job
+  // path repeatedly on one pool; the sink must still see every job's
+  // ranks in rank order (that ordering is what keeps counters
+  // byte-identical to the serial backend).
+  ThreadedBackend be(4);
+  const std::vector<std::size_t> caps = {192, 4096, std::size_t(1) << 22};
+  for (std::size_t round = 0; round < 40; ++round) {
+    const std::size_t width = 1 + round % 9;  // includes the serial path
+    std::vector<std::size_t> ranks(width);
+    std::iota(ranks.begin(), ranks.end(), std::size_t{0});
+    std::vector<std::size_t> seen;
+    be.run(
+        ranks, caps,
+        [](std::size_t p, memsim::Hierarchy& h) { h.load(0, p + 1); },
+        [&](std::size_t p, const memsim::Hierarchy& h) {
+          seen.push_back(p);
+          EXPECT_EQ(h.loads_words(0), p + 1) << "round " << round;
+        });
+    EXPECT_EQ(seen, ranks) << "round " << round;
+  }
+}
+
+TEST(Backends, NestedRunFromInsideAWorkerExecutesInline) {
+  // A local phase that itself fans out through the same backend must
+  // run serially inline on the worker instead of waiting on the pool's
+  // done-barrier while holding it hostage (deadlock).
+  ThreadedBackend be(4);
+  const std::vector<std::size_t> caps = {192, 4096, std::size_t(1) << 22};
+  const std::vector<std::size_t> outer = {0, 1, 2, 3, 4, 5};
+  const std::vector<std::size_t> inner = {0, 1};
+  std::atomic<std::uint64_t> inner_words{0};
+  be.run(
+      outer, caps,
+      [&](std::size_t, memsim::Hierarchy& h) {
+        h.load(0, 1);
+        be.run(
+            inner, caps,
+            [](std::size_t, memsim::Hierarchy& hh) { hh.load(0, 3); },
+            [&](std::size_t, const memsim::Hierarchy& hh) {
+              inner_words += hh.loads_words(0);
+            });
+      },
+      [](std::size_t, const memsim::Hierarchy&) {});
+  // 6 outer ranks x 2 inner ranks x 3 words each.
+  EXPECT_EQ(inner_words.load(), 6u * 2u * 3u);
+}
+
+TEST(Backends, PoolOutlivesAThrowingJobAndServesTheNext) {
+  // An error must not poison the parked pool: the next job on the same
+  // backend still runs every rank and charges correctly.
+  Machine m(8, 192, 4096, 1 << 22, HwParams{},
+            std::make_unique<ThreadedBackend>(4));
+  EXPECT_THROW(m.run_local_each([](std::size_t p, memsim::Hierarchy& h) {
+    if (p == 3) throw std::runtime_error("rank 3 fails");
+    h.load(0, 2);
+  }),
+               std::runtime_error);
+  m.run_local_each([](std::size_t, memsim::Hierarchy& h) { h.load(0, 5); });
+  for (std::size_t p = 0; p < 8; ++p) {
+    // Ranks before the failing one kept the first job's charge; every
+    // rank got the second job's.
+    EXPECT_EQ(m.proc(p).l2_read.words, (p < 3 ? 2u : 0u) + 5u) << p;
+  }
 }
 
 TEST(Backends, WallClockAccumulatesAcrossLocalPhases) {

@@ -379,5 +379,81 @@ TEST(SimShmIdentityTest, DistributedKrylov) {
   }
 }
 
+// ---------------------------------------------------------------------
+// TSan-targeted stress: the tiny parallel threshold forces every
+// collective round onto concurrent sender/receiver thread pairs while
+// the threaded backend's persistent pool runs the local phases -- the
+// maximal-concurrency configuration the WA_SANITIZE=thread CI leg is
+// built to vet.  The reference is the fully serial charge-only run:
+// counters and bits must survive both axes at once, and every word
+// that moved must checksum-verify end to end.
+
+template <class Algo>
+void expect_stress_identical(std::size_t P, Algo&& algo) {
+  Machine ref(P, /*M1=*/192, /*M2=*/4096, /*M3=*/std::size_t(1) << 24,
+              HwParams{}, std::make_unique<SerialSimBackend>(),
+              std::make_unique<SimTransport>());
+  Machine hot(P, /*M1=*/192, /*M2=*/4096, /*M3=*/std::size_t(1) << 24,
+              HwParams{}, std::make_unique<ThreadedBackend>(4),
+              std::make_unique<ShmTransport>(/*parallel_words=*/8));
+  const std::vector<double> out_ref = algo(ref);
+  const std::vector<double> out_hot = algo(hot);
+  ASSERT_EQ(out_ref.size(), out_hot.size());
+  EXPECT_EQ(0, std::memcmp(out_ref.data(), out_hot.data(),
+                           out_ref.size() * sizeof(double)))
+      << "bitwise divergence under threaded backend + threaded rounds";
+  EXPECT_TRUE(bench::same_counters(ref, hot));
+  const auto* shm = dynamic_cast<const ShmTransport*>(&hot.transport());
+  ASSERT_NE(shm, nullptr);
+  const TransportStats st = shm->stats();
+  EXPECT_GT(st.words, 0u);
+  EXPECT_EQ(st.verified, st.words);  // every delivery checksum-clean
+}
+
+TEST(ShmStressTest, ConcurrentLargeRoundsAcrossAllFamilies) {
+  const std::size_t P = 8, n = 24;
+  auto a = linalg::random_spd(n, 13);
+  auto b = linalg::random_spd(n, 17);
+  expect_stress_identical(P, [&](Machine& m) {
+    Matrix<double> c(n, n, 0.0);
+    summa_2d(m, c.view(), a.view(), b.view());
+    return flat(c);
+  });
+  expect_stress_identical(P, [&](Machine& m) {
+    Matrix<double> c(n, n, 0.0);
+    Mm25dOptions opt;
+    opt.c = 2;
+    opt.use_l3 = true;
+    mm_25d(m, c.view(), a.view(), b.view(), opt);
+    return flat(c);
+  });
+  expect_stress_identical(P, [&](Machine& m) {
+    auto f = a;
+    lu_right_looking(m, f.view(), /*b=*/4);
+    return flat(f);
+  });
+  expect_stress_identical(P, [&](Machine& m) {
+    auto f = a;
+    lu_left_looking(m, f.view(), /*b=*/4, /*s=*/2);
+    return flat(f);
+  });
+  const sparse::Csr A = sparse::stencil_2d(6, 6);  // 36 nodes on P = 8
+  const std::vector<double> rhs(A.n, 1.0);
+  expect_stress_identical(P, [&](Machine& m) {
+    std::vector<double> x(A.n, 0.0);
+    cg(m, A, rhs, x, /*max_iters=*/20, /*tol=*/1e-10);
+    return x;
+  });
+  expect_stress_identical(P, [&](Machine& m) {
+    std::vector<double> x(A.n, 0.0);
+    krylov::CaCgOptions opt;
+    opt.s = 2;
+    opt.max_outer = 10;
+    opt.tol = 1e-10;
+    ca_cg(m, A, rhs, x, opt);
+    return x;
+  });
+}
+
 }  // namespace
 }  // namespace wa::dist
