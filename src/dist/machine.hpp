@@ -35,6 +35,16 @@
 // per-rank heap arenas through checksummed message queues.  Charging
 // always happens first and never depends on the transport, so the
 // counters are byte-identical across transports by construction.
+//
+// This header is the *only* place allowed to mutate the ChanCount
+// channels directly (tools/wa_lint.py enforces this as its wa-counter
+// rule): algorithms charge exclusively through the Machine helpers
+// below, which is what keeps every counter deterministic and
+// byte-identical across backends and transports.  All charging and
+// transport movement is issued from the orchestration thread; local
+// phases charge fresh per-rank Hierarchies that the backend merges
+// deterministically (see dist/backend.hpp), so none of these counters
+// need locks.
 
 #include <algorithm>
 #include <atomic>

@@ -157,6 +157,9 @@ static void gemm_blocked(MatrixView<double> C, ConstMatrixView<double> A,
   std::vector<double> astore, bstore;
   const auto aligned = [](std::vector<double>& v, std::size_t need) {
     v.resize(need + 8);
+    // Pointer-to-integer probe for cache-line alignment only; the
+    // integer is never converted back to a pointer.
+    // NOLINT(wa-cast): alignment probe, no type-punned access
     const auto addr = reinterpret_cast<std::uintptr_t>(v.data());
     return v.data() + (64 - addr % 64) % 64 / 8;
   };

@@ -44,6 +44,8 @@ void micro_6x8_avx2(std::size_t kc, const double* apanel,
     const double* bk = bpanel + k * 8;
     // Walk the next A micro-panel into L1 while this one computes:
     // the k loop covers kc lines, the next panel is 6*kc doubles.
+    // NOLINT(wa-cast): _mm_prefetch takes const char*; the address is
+    // only prefetched, never dereferenced through the char type
     _mm_prefetch(reinterpret_cast<const char*>(ak + 6 * kc),
                  _MM_HINT_T0);
     const __m256d b0 = _mm256_loadu_pd(bk);

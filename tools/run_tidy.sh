@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Run the project's clang-tidy gate (.clang-tidy at the repo root) over
+# every library TU, using the compilation database the build exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS is always ON for this repo).
+#
+# Usage: tools/run_tidy.sh [build-dir]    (default: ./build)
+#   CLANG_TIDY=clang-tidy-18 tools/run_tidy.sh   # pick a binary
+#
+# Diagnostics are errors (.clang-tidy sets WarningsAsErrors: '*'), so a
+# zero exit means the tree is tidy-clean.
+set -eu
+
+BUILD_DIR="${1:-build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+ROOT=$(dirname "$0")/..
+
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "error: '$TIDY' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 1
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: '$BUILD_DIR/compile_commands.json' missing" >&2
+  echo "hint: cmake -B '$BUILD_DIR' -S '$ROOT' first" >&2
+  exit 1
+fi
+
+status=0
+for tu in "$ROOT"/src/*/*.cpp; do
+  printf '== clang-tidy %s ==\n' "$tu"
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$tu"; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "clang-tidy: all library TUs clean"
+else
+  echo "clang-tidy: findings above" >&2
+fi
+exit $status
